@@ -1,0 +1,77 @@
+// Ablation — lock granularity under Figure-4-style concurrency.
+//
+// 25 closed-loop clients hammer one shared ResponseCache (hot set of 16
+// keys, ~95% hits) with the cheap Reference representation, so the cache's
+// own locking — not retrieval work — dominates.  Sweeps the shard count.
+// On a single-core host the lock is rarely contended (threads timeslice),
+// so gains are modest here; on multicore hardware the single mutex becomes
+// the bottleneck this ablation exposes.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/response_cache.hpp"
+#include "reflect/object.hpp"
+
+using namespace wsc;
+using namespace wsc::cache;
+
+namespace {
+
+class TinyValue final : public CachedValue {
+ public:
+  reflect::Object retrieve() const override {
+    return reflect::Object::make(std::int32_t{1});
+  }
+  Representation representation() const override {
+    return Representation::Reference;
+  }
+  std::size_t memory_size() const override { return 32; }
+};
+
+double run_once(std::size_t shards, int clients, int ops_per_client) {
+  ResponseCache::Config config;
+  config.shards = shards;
+  ResponseCache cache(config);
+  for (int k = 0; k < 16; ++k) {
+    cache.store(CacheKey("hot" + std::to_string(k)),
+                std::make_shared<TinyValue>(), std::chrono::hours(1));
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int i = 0; i < ops_per_client; ++i) {
+        CacheKey k("hot" + std::to_string((c + i) % 16));
+        if (auto v = cache.lookup(k)) {
+          reflect::Object o = v->retrieve();
+          (void)o;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return clients * static_cast<double>(ops_per_client) / seconds;
+}
+
+}  // namespace
+
+int main() {
+  const int kClients = 25, kOps = 40'000;
+  std::printf(
+      "Ablation (lock sharding): %d concurrent clients, %d lookups each,\n"
+      "16-key hot set, Reference representation\n",
+      kClients, kOps);
+  std::printf("%8s %16s\n", "shards", "lookups/sec");
+  for (std::size_t shards : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    // Warm + measure twice, report the better run (less scheduler noise).
+    double a = run_once(shards, kClients, kOps);
+    double b = run_once(shards, kClients, kOps);
+    std::printf("%8zu %16.0f\n", shards, std::max(a, b));
+  }
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Figure 3 — portal throughput and average response time vs cache-hit
+// ratio, WITHOUT concurrent access (one closed-loop client; the paper's
+// portal CPU sat at 50-70%).
+//
+// Paper endpoints at 100% hits vs 0%: XML ~1.5x, SAX events ~2x, object
+// representations ~3x throughput (and the inverse for response time); the
+// four object methods are near-indistinguishable because per-hit costs
+// vanish against the rest of the request path.
+#include "bench/portal_figure.hpp"
+
+int main(int argc, char** argv) {
+  int requests = wsc::bench::figure_requests(argc, argv, 600);
+  wsc::bench::run_portal_figure(/*concurrency=*/1, requests, "Figure 3");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 4 — the same sweep with 25 concurrent clients (paper: portal CPU
+// >95%).  Under saturation the processing savings dominate: the paper
+// reports ~5x throughput and ~8x shorter response times for application-
+// object caching at 100% hits.
+#include "bench/portal_figure.hpp"
+
+int main(int argc, char** argv) {
+  int requests = wsc::bench::figure_requests(argc, argv, 1500);
+  wsc::bench::run_portal_figure(/*concurrency=*/25, requests, "Figure 4");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 6 — processing times for cache key generation (msec in the paper,
+// reported here in ns/op by google-benchmark).
+//
+// Paper (Pentium-4 1.8 GHz, JVM):                 us/op
+//                    Spelling   CachedPage  GoogleSearch
+//   XML message        213        212          298
+//   Java serialization  21         22           36
+//   toString              5          5            8
+//
+// Expected shape: XML ~10x serialization; toString another ~4x faster.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hpp"
+
+namespace {
+
+using namespace wsc;
+using namespace wsc::bench;
+
+const std::vector<OperationCase>& cases() {
+  static const std::vector<OperationCase> c = google_cases();
+  return c;
+}
+
+void BM_KeyGen(benchmark::State& state) {
+  const OperationCase& op = cases()[static_cast<std::size_t>(state.range(0))];
+  auto method = static_cast<cache::KeyMethod>(state.range(1));
+  std::unique_ptr<cache::KeyGenerator> gen = cache::make_key_generator(method);
+  for (auto _ : state) {
+    cache::CacheKey key = gen->generate(op.request);
+    benchmark::DoNotOptimize(key);
+  }
+  state.SetLabel(std::string(cache::key_method_name(method)) + " / " + op.display);
+}
+
+void register_all() {
+  for (int op = 0; op < 3; ++op) {
+    for (cache::KeyMethod m : {cache::KeyMethod::XmlMessage,
+                               cache::KeyMethod::Serialization,
+                               cache::KeyMethod::ToString}) {
+      std::string name = "Table6/KeyGen/" +
+                         std::string(cache::key_method_name(m)) + "/" +
+                         cases()[static_cast<std::size_t>(op)].op_name;
+      for (char& c : name) {
+        if (c == ' ') c = '_';
+      }
+      benchmark::RegisterBenchmark(name.c_str(), BM_KeyGen)
+          ->Args({op, static_cast<int>(m)});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 8 — memory size of cache keys (bytes).
+//
+// Paper:                Spelling   CachedPage  GoogleSearch
+//   XML message            586        579          974
+//   Java serialized form   234        238          462
+//   Concatenated string    120        123          164
+//
+// Expected shape: XML ~2.5x serialized; serialized ~2x concatenated.
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace wsc;
+  using namespace wsc::bench;
+
+  std::vector<OperationCase> cases = google_cases();
+
+  struct Row {
+    const char* label;
+    cache::KeyMethod method;
+    int paper[3];
+  };
+  const Row rows[] = {
+      {"XML message", cache::KeyMethod::XmlMessage, {586, 579, 974}},
+      {"Java serialized form", cache::KeyMethod::Serialization, {234, 238, 462}},
+      {"Concatenated string", cache::KeyMethod::ToString, {120, 123, 164}},
+  };
+
+  std::printf("Table 8: Memory size of cache keys (bytes)\n");
+  std::printf("%-22s  %18s  %18s  %18s\n", "", "SpellingSuggestion",
+              "CachedPage", "GoogleSearch");
+  std::printf("%-22s  %10s  %6s  %10s  %6s  %10s  %6s\n", "representation",
+              "measured", "paper", "measured", "paper", "measured", "paper");
+  for (const Row& row : rows) {
+    std::unique_ptr<cache::KeyGenerator> gen = cache::make_key_generator(row.method);
+    std::printf("%-22s", row.label);
+    for (int i = 0; i < 3; ++i) {
+      std::size_t size =
+          gen->generate(cases[static_cast<std::size_t>(i)].request).material().size();
+      std::printf("  %10zu  %6d", size, row.paper[i]);
+    }
+    std::printf("\n");
+  }
+
+  // Shape assertions (reported, not enforced): ordering must match paper.
+  bool ok = true;
+  for (const auto& c : cases) {
+    std::size_t xml =
+        cache::XmlMessageKeyGenerator{}.generate(c.request).material().size();
+    std::size_t ser =
+        cache::SerializationKeyGenerator{}.generate(c.request).material().size();
+    std::size_t str =
+        cache::ToStringKeyGenerator{}.generate(c.request).material().size();
+    ok = ok && xml > ser && ser > str;
+  }
+  std::printf("\nshape check (XML > serialized > string for every op): %s\n",
+              ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,114 @@
+// Shared setup for the reproduction benchmarks: the three Google
+// operations of §5.1 with the paper's request/response shapes, plus helpers
+// to capture responses in every representation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cache_key.hpp"
+#include "core/cached_value.hpp"
+#include "services/google/service.hpp"
+#include "soap/serializer.hpp"
+#include "xml/event_sequence.hpp"
+#include "xml/sax_parser.hpp"
+
+namespace wsc::bench {
+
+using reflect::Object;
+
+/// One §5.1 operation: its request (for Tables 6/8) and its captured
+/// response (for Tables 7/9).
+struct OperationCase {
+  std::string display;  // "Spelling Suggestion" etc., as in the tables
+  std::string op_name;
+  soap::RpcRequest request;
+  std::shared_ptr<const wsdl::OperationInfo> op;
+  std::string response_xml;
+  xml::EventSequence response_events;
+  Object response_object;
+
+  cache::ResponseCapture capture_copy(xml::EventSequence& scratch) const {
+    scratch = response_events;  // fresh copy, SaxEventsValue consumes it
+    cache::ResponseCapture c;
+    c.response_xml = &response_xml;
+    c.events = &scratch;
+    c.object = response_object;
+    c.op = op;
+    return c;
+  }
+};
+
+inline std::shared_ptr<const wsdl::OperationInfo> share_op(const char* name) {
+  auto desc = services::google::google_description();
+  return {desc, &desc->require_operation(name)};
+}
+
+inline OperationCase make_case(const char* display, const char* op_name,
+                               soap::RpcRequest request, Object response) {
+  OperationCase c;
+  c.display = display;
+  c.op_name = op_name;
+  c.op = share_op(op_name);
+  c.request = std::move(request);
+  c.response_object = std::move(response);
+  c.response_xml =
+      soap::serialize_response(*c.op, "urn:GoogleSearch", c.response_object);
+  xml::EventRecorder recorder;
+  xml::SaxParser{}.parse(c.response_xml, recorder);
+  c.response_events = recorder.take();
+  return c;
+}
+
+/// The three operations with the paper's parameter/response shapes
+/// (Table 5): small+simple String, large+simple byte[], large+complex tree.
+inline std::vector<OperationCase> google_cases() {
+  services::google::GoogleBackend backend;
+  const std::string kEndpoint = "http://api.google.com/search/beta2";
+  const std::string kKey(32, '0');
+
+  auto str = [](const char* s) { return Object::make(std::string(s)); };
+
+  soap::RpcRequest spell;
+  spell.endpoint = kEndpoint;
+  spell.ns = "urn:GoogleSearch";
+  spell.operation = "doSpellingSuggestion";
+  spell.params = {{"key", Object::make(kKey)}, {"phrase", str("web servies caching")}};
+
+  soap::RpcRequest page;
+  page.endpoint = kEndpoint;
+  page.ns = "urn:GoogleSearch";
+  page.operation = "doGetCachedPage";
+  page.params = {{"key", Object::make(kKey)},
+                 {"url", str("http://www.example.com/index.html")}};
+
+  soap::RpcRequest search;
+  search.endpoint = kEndpoint;
+  search.ns = "urn:GoogleSearch";
+  search.operation = "doGoogleSearch";
+  search.params = {{"key", Object::make(kKey)},
+                   {"q", str("web services response caching")},
+                   {"start", Object::make(std::int32_t{0})},
+                   {"maxResults", Object::make(std::int32_t{10})},
+                   {"filter", Object::make(false)},
+                   {"restrict", str("")},
+                   {"safeSearch", Object::make(false)},
+                   {"lr", str("")},
+                   {"ie", str("latin1")},
+                   {"oe", str("latin1")}};
+
+  std::vector<OperationCase> cases;
+  cases.push_back(make_case(
+      "Spelling Suggestion", "doSpellingSuggestion", std::move(spell),
+      Object::make(backend.spelling_suggestion("web servies caching"))));
+  cases.push_back(make_case(
+      "Cached Page", "doGetCachedPage", std::move(page),
+      Object::make(backend.cached_page("http://www.example.com/index.html"))));
+  cases.push_back(make_case(
+      "Google Search", "doGoogleSearch", std::move(search),
+      Object::make(backend.search("web services response caching", 0, 10))));
+  return cases;
+}
+
+}  // namespace wsc::bench

@@ -1,0 +1,118 @@
+// The paper's FULL intro scenario: "Assume that the portal site uses
+// several back-end services, such as stock quote services, search
+// services, and news services ... the portal site sends requests to the
+// servers of companies that provide these services."
+//
+// One portal page aggregates three SOAP backends — Google search, stock
+// quotes, news — through a single shared response cache, with per-service
+// TTLs chosen by the administrator (search: 1 h, news: 5 min, quotes: 5 s).
+//
+//   build/examples/portal_aggregate
+#include <cstdio>
+
+#include "core/client.hpp"
+#include "services/google/service.hpp"
+#include "services/google/stub.hpp"
+#include "services/news/service.hpp"
+#include "services/quotes/service.hpp"
+#include "transport/http_transport.hpp"
+#include "transport/soap_http.hpp"
+
+using namespace wsc;
+using reflect::Object;
+using soap::Parameter;
+
+namespace {
+
+/// The aggregated page: three backend calls through one cache.
+struct AggregatePortal {
+  AggregatePortal(const std::string& google_ep, const std::string& quotes_ep,
+                  const std::string& news_ep)
+      : shared_cache(std::make_shared<cache::ResponseCache>()),
+        transport(std::make_shared<transport::HttpTransport>()),
+        google_client(
+            transport, google_ep, shared_cache,
+            [] {
+              cache::CachingServiceClient::Options o;
+              o.policy = services::google::default_google_policy();
+              return o;
+            }()),
+        quote_client(
+            transport, services::quotes::quotes_description(), quotes_ep,
+            shared_cache,
+            [] {
+              cache::CachingServiceClient::Options o;
+              o.policy = services::quotes::default_quotes_policy();
+              return o;
+            }()),
+        news_client(
+            transport, services::news::news_description(), news_ep,
+            shared_cache,
+            [] {
+              cache::CachingServiceClient::Options o;
+              o.policy = services::news::default_news_policy();
+              return o;
+            }()) {}
+
+  std::string render(const std::string& query) {
+    auto search = google_client.doGoogleSearch(query);
+    Object quotes = quote_client.invoke(
+        "GetQuotes", {{"symbols", Object::make(std::string("IBM,MSFT,SUNW"))}});
+    Object feed = news_client.invoke(
+        "TopHeadlines",
+        {{"topic", Object::make(query)}, {"count", Object::make(std::int32_t{3})}});
+
+    std::string page = "== results for '" + query + "' ==\n";
+    for (const auto& e : search.resultElements)
+      page += "  " + e.title + "  (" + e.hostName + ")\n";
+    page += "== markets ==\n";
+    for (const auto& q : quotes.as<services::quotes::QuoteBatch>().quotes) {
+      char line[96];
+      std::snprintf(line, sizeof(line), "  %-5s %8.2f (%+.2f)\n",
+                    q.symbol.c_str(), q.last, q.change);
+      page += line;
+    }
+    page += "== headlines ==\n";
+    for (const auto& h : feed.as<services::news::NewsFeed>().headlines)
+      page += "  " + h.title + " [" + h.source + "]\n";
+    return page;
+  }
+
+  std::shared_ptr<cache::ResponseCache> shared_cache;
+  std::shared_ptr<transport::HttpTransport> transport;
+  services::google::GoogleClient google_client;
+  cache::CachingServiceClient quote_client;
+  cache::CachingServiceClient news_client;
+};
+
+}  // namespace
+
+int main() {
+  // Three independent provider companies, three HTTP servers.
+  auto google_backend = std::make_shared<services::google::GoogleBackend>();
+  auto google_server = transport::serve_soap(
+      0, "/soap", services::google::make_google_service(google_backend));
+  auto quote_backend = std::make_shared<services::quotes::QuoteBackend>();
+  auto quotes_server = transport::serve_soap(
+      0, "/soap", services::quotes::make_quotes_service(quote_backend));
+  auto news_backend = std::make_shared<services::news::NewsBackend>();
+  auto news_server = transport::serve_soap(
+      0, "/soap", services::news::make_news_service(news_backend));
+
+  AggregatePortal portal(google_server->base_url() + "/soap",
+                         quotes_server->base_url() + "/soap",
+                         news_server->base_url() + "/soap");
+
+  std::printf("--- first page render: 3 backend SOAP calls (all misses) ---\n");
+  std::printf("%s\n", portal.render("web services").c_str());
+  std::printf("cache: %s\n\n", portal.shared_cache->stats().to_string().c_str());
+
+  std::printf("--- same page again: all three served from one cache ---\n");
+  portal.render("web services");
+  std::printf("cache: %s\n", portal.shared_cache->stats().to_string().c_str());
+
+  google_server->stop();
+  quotes_server->stop();
+  news_server->stop();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Portal-site scenario (paper §5.2, Figure 2), live:
+//
+//   load simulator --HTTP--> portal site --SOAP/HTTP--> dummy Google WS
+//
+// Runs the full topology on loopback, sweeps the cache-hit ratio for a
+// chosen representation, and prints throughput / response-time lines like
+// the Figure 3 series.  Optionally serves the portal for manual browsing.
+//
+//   build/examples/portal_site                 # run the sweep and exit
+//   build/examples/portal_site --serve         # keep serving (ctrl-C quits)
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "http/server.hpp"
+#include "portal/load_sim.hpp"
+#include "portal/portal.hpp"
+#include "services/google/service.hpp"
+#include "transport/http_transport.hpp"
+#include "transport/soap_http.hpp"
+
+using namespace wsc;
+
+int main(int argc, char** argv) {
+  bool serve = argc > 1 && std::strcmp(argv[1], "--serve") == 0;
+
+  // Backend: dummy Google Web service on its own HTTP server.
+  auto backend = std::make_shared<services::google::GoogleBackend>();
+  auto soap_server = transport::serve_soap(
+      0, "/soap/google", services::google::make_google_service(backend));
+  std::string backend_endpoint = soap_server->base_url() + "/soap/google";
+  std::printf("backend Google WS : %s\n", backend_endpoint.c_str());
+
+  // Portal: caching client middleware with the section-6 Auto policy.
+  portal::PortalConfig config;
+  config.backend_endpoint = backend_endpoint;
+  config.transport = std::make_shared<transport::HttpTransport>();
+  config.options.key_method = cache::KeyMethod::ToString;
+  config.options.policy = services::google::default_google_policy();
+  portal::PortalSite site(std::move(config));
+  http::HttpServer portal_server(0, site.handler());
+  portal_server.start();
+  std::printf("portal site       : %s/portal?q=anything\n\n",
+              portal_server.base_url().c_str());
+
+  std::printf("hit%%   throughput     mean    p95   (cache: auto representation)\n");
+  for (int hit = 0; hit <= 100; hit += 25) {
+    site.response_cache().clear();
+    portal::LoadConfig load;
+    load.concurrency = 4;
+    load.requests_per_client = 50;
+    load.hit_ratio = hit / 100.0;
+    load.hot_set_size = 8;
+    portal::LoadReport report =
+        portal::run_load_http(portal_server.base_url(), load);
+    std::printf("%3d%%  %9.0f/s  %6.2fms %6.2fms\n", hit, report.throughput_rps,
+                report.mean_response_ms(),
+                static_cast<double>(report.latency.percentile(0.95)) / 1e6);
+  }
+  std::printf("\nfinal cache state: %s\n",
+              site.response_cache().stats().to_string().c_str());
+
+  if (serve) {
+    std::printf("\nserving; open %s/portal?q=hello (ctrl-C to quit)\n",
+                portal_server.base_url().c_str());
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+  portal_server.stop();
+  soap_server->stop();
+  return 0;
+}

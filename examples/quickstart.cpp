@@ -1,0 +1,82 @@
+// Quickstart: call the dummy Google Web service through the caching client
+// middleware and watch the representations at work.
+//
+//   build/examples/quickstart
+//
+// Starts an in-process HTTP server hosting the dummy Google service (the
+// Tomcat+Axis stand-in), creates a caching client with the section-6 Auto
+// representation, then issues repeated identical requests to show the
+// miss -> hit transition and the cost difference.
+#include <chrono>
+#include <cstdio>
+
+#include "core/client.hpp"
+#include "services/google/service.hpp"
+#include "services/google/stub.hpp"
+#include "transport/http_transport.hpp"
+#include "transport/soap_http.hpp"
+#include "wsdl/wsdl_writer.hpp"
+
+using namespace wsc;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  // --- server side: dummy Google Web service over HTTP ---------------------
+  auto backend = std::make_shared<services::google::GoogleBackend>();
+  auto service = services::google::make_google_service(backend);
+  auto server = transport::serve_soap(/*port=*/0, "/soap/google", service);
+  std::string endpoint = server->base_url() + "/soap/google";
+  std::printf("dummy Google Web service listening at %s\n", endpoint.c_str());
+
+  // The service publishes standard WSDL 1.1 (interoperability first).
+  std::string wsdl_doc =
+      wsdl::to_wsdl_xml(*services::google::google_description(), endpoint);
+  std::printf("WSDL contract: %zu bytes (rpc/encoded, SOAP 1.1)\n\n",
+              wsdl_doc.size());
+
+  // --- client side: caching middleware --------------------------------------
+  cache::CachingServiceClient::Options options;
+  options.key_method = cache::KeyMethod::ToString;
+  options.policy = services::google::default_google_policy();  // Auto, 1h TTL
+  auto response_cache = std::make_shared<cache::ResponseCache>();
+
+  services::google::GoogleClient google(
+      std::make_shared<transport::HttpTransport>(), endpoint, response_cache,
+      options);
+
+  // --- the application: three operations, twice each -------------------------
+  for (int round = 1; round <= 2; ++round) {
+    std::printf("--- round %d (%s) ---\n", round,
+                round == 1 ? "cache misses: full SOAP round trips"
+                           : "cache hits: served from the response cache");
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::string suggestion = google.doSpellingSuggestion("web servies caching");
+    std::printf("doSpellingSuggestion -> \"%s\"  (%.3f ms)\n",
+                suggestion.c_str(), ms_since(t0));
+
+    t0 = std::chrono::steady_clock::now();
+    auto page = google.doGetCachedPage("http://example.com/index.html");
+    std::printf("doGetCachedPage      -> %zu bytes  (%.3f ms)\n", page.size(),
+                ms_since(t0));
+
+    t0 = std::chrono::steady_clock::now();
+    auto result = google.doGoogleSearch("response caching middleware");
+    std::printf("doGoogleSearch       -> %d results of ~%d  (%.3f ms)\n",
+                static_cast<int>(result.resultElements.size()),
+                result.estimatedTotalResultsCount, ms_since(t0));
+  }
+
+  std::printf("\ncache: %s\n", response_cache->stats().to_string().c_str());
+  server->stop();
+  return 0;
+}

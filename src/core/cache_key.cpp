@@ -1,0 +1,59 @@
+#include "core/cache_key.hpp"
+
+#include "reflect/algorithms.hpp"
+#include "reflect/serialize.hpp"
+#include "soap/serializer.hpp"
+#include "util/hash.hpp"
+
+namespace wsc::cache {
+
+CacheKey::CacheKey(std::string material)
+    : material_(std::move(material)), hash_(util::fnv1a(material_)) {}
+
+CacheKey XmlMessageKeyGenerator::generate(const soap::RpcRequest& request) const {
+  // The request envelope embeds operation and parameters; prepend the
+  // endpoint, which is transport metadata and not part of the document.
+  return CacheKey(request.endpoint + "\n" + soap::serialize_request(request));
+}
+
+CacheKey SerializationKeyGenerator::generate(
+    const soap::RpcRequest& request) const {
+  std::string material = request.endpoint;
+  material += '\0';
+  material += request.operation;
+  for (const soap::Parameter& p : request.params) {
+    material += '\0';
+    material += p.name;
+    material += '=';
+    std::vector<std::uint8_t> bytes = reflect::serialize(p.value);
+    material.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  }
+  return CacheKey(std::move(material));
+}
+
+CacheKey ToStringKeyGenerator::generate(const soap::RpcRequest& request) const {
+  std::string material = request.endpoint;
+  material += '|';
+  material += request.operation;
+  for (const soap::Parameter& p : request.params) {
+    material += '|';
+    material += p.name;
+    material += '=';
+    material += reflect::to_string(p.value);
+  }
+  return CacheKey(std::move(material));
+}
+
+std::unique_ptr<KeyGenerator> make_key_generator(KeyMethod method) {
+  switch (method) {
+    case KeyMethod::XmlMessage:
+      return std::make_unique<XmlMessageKeyGenerator>();
+    case KeyMethod::Serialization:
+      return std::make_unique<SerializationKeyGenerator>();
+    case KeyMethod::ToString:
+      return std::make_unique<ToStringKeyGenerator>();
+  }
+  throw Error("make_key_generator: bad method");
+}
+
+}  // namespace wsc::cache

@@ -1,0 +1,82 @@
+// Cache key generation (paper section 4.1, Tables 2/6/8).
+//
+// A key identifies (endpoint URL, operation, all parameter names+values).
+// Three generators trade generality for speed:
+//   XmlMessageKeyGenerator    - serialize the whole request envelope (works
+//                               for any type, pays serialization per lookup)
+//   SerializationKeyGenerator - binary-serialize the parameters (needs
+//                               serializable parameter types, ~10x faster)
+//   ToStringKeyGenerator      - concatenate parameter strings (needs usable
+//                               toString, fastest; "optimal in many cases")
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/representation.hpp"
+#include "soap/message.hpp"
+
+namespace wsc::cache {
+
+/// Immutable key: opaque bytes + precomputed hash.
+class CacheKey {
+ public:
+  CacheKey() = default;
+  explicit CacheKey(std::string material);
+
+  const std::string& material() const noexcept { return material_; }
+  std::uint64_t hash() const noexcept { return hash_; }
+
+  /// Bytes held in the cache table per entry for this key (Table 8).
+  std::size_t memory_size() const noexcept {
+    return material_.capacity() + sizeof(CacheKey);
+  }
+
+  bool operator==(const CacheKey& other) const noexcept {
+    return hash_ == other.hash_ && material_ == other.material_;
+  }
+
+  struct Hasher {
+    std::size_t operator()(const CacheKey& k) const noexcept {
+      return static_cast<std::size_t>(k.hash());
+    }
+  };
+
+ private:
+  std::string material_;
+  std::uint64_t hash_ = 0;
+};
+
+class KeyGenerator {
+ public:
+  virtual ~KeyGenerator() = default;
+
+  /// Build the key for a request.  Throws wsc::SerializationError when the
+  /// method cannot handle a parameter type (Table 2's Limitation column).
+  virtual CacheKey generate(const soap::RpcRequest& request) const = 0;
+
+  virtual KeyMethod method() const = 0;
+};
+
+class XmlMessageKeyGenerator final : public KeyGenerator {
+ public:
+  CacheKey generate(const soap::RpcRequest& request) const override;
+  KeyMethod method() const override { return KeyMethod::XmlMessage; }
+};
+
+class SerializationKeyGenerator final : public KeyGenerator {
+ public:
+  CacheKey generate(const soap::RpcRequest& request) const override;
+  KeyMethod method() const override { return KeyMethod::Serialization; }
+};
+
+class ToStringKeyGenerator final : public KeyGenerator {
+ public:
+  CacheKey generate(const soap::RpcRequest& request) const override;
+  KeyMethod method() const override { return KeyMethod::ToString; }
+};
+
+/// Factory for a method enum.
+std::unique_ptr<KeyGenerator> make_key_generator(KeyMethod method);
+
+}  // namespace wsc::cache

@@ -1,0 +1,169 @@
+#include "core/client.hpp"
+
+#include "soap/deserializer.hpp"
+#include "soap/serializer.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+#include "xml/sax_parser.hpp"
+
+namespace wsc::cache {
+
+CachingServiceClient::CachingServiceClient(
+    std::shared_ptr<transport::Transport> transport,
+    std::shared_ptr<const wsdl::ServiceDescription> description,
+    std::string endpoint_url, std::shared_ptr<ResponseCache> cache,
+    Options options)
+    : transport_(std::move(transport)),
+      description_(std::move(description)),
+      endpoint_url_(std::move(endpoint_url)),
+      endpoint_(util::Uri::parse(endpoint_url_)),
+      cache_(std::move(cache)),
+      options_(std::move(options)),
+      keygen_(make_key_generator(options_.key_method)) {
+  if (!transport_) throw Error("CachingServiceClient: null transport");
+  if (!description_) throw Error("CachingServiceClient: null description");
+  if (!cache_) throw Error("CachingServiceClient: null cache");
+}
+
+soap::RpcRequest CachingServiceClient::build_request(
+    const std::string& operation, std::vector<soap::Parameter> params) const {
+  soap::RpcRequest request;
+  request.endpoint = endpoint_url_;
+  request.ns = description_->target_namespace();
+  request.operation = operation;
+  request.params = std::move(params);
+  return request;
+}
+
+std::shared_ptr<const wsdl::OperationInfo> CachingServiceClient::share_op(
+    const wsdl::OperationInfo& op) const {
+  // Aliasing share: co-owns the ServiceDescription, points at one op.
+  return std::shared_ptr<const wsdl::OperationInfo>(description_, &op);
+}
+
+CacheKey CachingServiceClient::key_for(
+    const std::string& operation,
+    const std::vector<soap::Parameter>& params) const {
+  return keygen_->generate(build_request(operation, params));
+}
+
+bool CachingServiceClient::invalidate(
+    const std::string& operation, const std::vector<soap::Parameter>& params) {
+  return cache_->invalidate(key_for(operation, params));
+}
+
+reflect::Object CachingServiceClient::invoke(
+    const std::string& operation, std::vector<soap::Parameter> params) {
+  const wsdl::OperationInfo& op = description_->require_operation(operation);
+  if (params.size() != op.params.size())
+    throw Error("operation '" + operation + "' expects " +
+                std::to_string(op.params.size()) + " parameters, got " +
+                std::to_string(params.size()));
+
+  soap::RpcRequest request = build_request(operation, std::move(params));
+  const OperationPolicy& policy = options_.policy.lookup(operation);
+
+  if (!options_.caching_enabled || !policy.cacheable) {
+    cache_->counters().on_uncacheable();
+    return remote_call(request, op, /*record_events=*/false).object;
+  }
+
+  CacheKey key = keygen_->generate(request);
+  // Revalidation (§3.2 HTTP hook): a stale entry with a Last-Modified may
+  // be renewed by a conditional request instead of refetched.
+  std::optional<std::chrono::seconds> revalidate_since;
+  bool had_stale_entry = false;
+  if (policy.revalidate) {
+    ResponseCache::StaleLookup stale = cache_->lookup_for_revalidation(key);
+    if (stale.fresh) return stale.value->retrieve();
+    if (stale.value) {
+      had_stale_entry = true;
+      revalidate_since = stale.last_modified;
+    }
+  } else if (std::shared_ptr<const CachedValue> value = cache_->lookup(key)) {
+    return value->retrieve();
+  }
+
+  // Resolve the representation from the *static* (WSDL) result type, so the
+  // miss path knows before parsing whether to tee the events.
+  Representation rep = policy.representation;
+  if (rep == Representation::Auto) {
+    rep = op.result_type
+              ? auto_select(*op.result_type, policy.read_only, policy.prefer_clone)
+              : Representation::Reference;  // void result: store the null
+  } else if (op.result_type && !applicable(rep, *op.result_type, policy.read_only)) {
+    // Table 3's Limitation column: the administrator configured a
+    // representation this operation's type cannot support.
+    throw SerializationError(
+        std::string("representation '") + std::string(representation_name(rep)) +
+        "' is not applicable to result type '" + op.result_type->name +
+        "' of operation '" + operation + "'");
+  }
+
+  CallResult result =
+      remote_call(request, op, /*record_events=*/rep == Representation::SaxEvents,
+                  revalidate_since);
+
+  if (result.not_modified) {
+    // 304: the stale representation is still current — renew its lease and
+    // serve from it (no reparse, no re-store).
+    if (cache_->refresh(key, policy.ttl)) {
+      if (std::shared_ptr<const CachedValue> value = cache_->lookup(key))
+        return value->retrieve();
+    }
+    // The entry was evicted while we revalidated: refetch unconditionally.
+    result = remote_call(request, op,
+                         /*record_events=*/rep == Representation::SaxEvents);
+  }
+  if (had_stale_entry) cache_->counters().on_miss();  // stale + changed
+
+  std::optional<std::chrono::milliseconds> ttl =
+      options_.policy.effective_ttl(policy, result.directives);
+  if (ttl) {
+    ResponseCapture capture;
+    capture.response_xml = &result.response_xml;
+    capture.events = &result.events;
+    capture.object = result.object;
+    capture.op = share_op(op);
+    cache_->store(key, make_cached_value(rep, capture), *ttl,
+                  result.last_modified);
+  } else {
+    util::log(util::LogLevel::Debug, "server directives suppressed caching of ",
+              operation);
+  }
+  return result.object;
+}
+
+CachingServiceClient::CallResult CachingServiceClient::remote_call(
+    const soap::RpcRequest& request, const wsdl::OperationInfo& op,
+    bool record_events, std::optional<std::chrono::seconds> if_modified_since) {
+  CallResult out;
+  transport::WireRequest wire_request;
+  wire_request.body = soap::serialize_request(request);
+  wire_request.soap_action = request.ns + "#" + request.operation;
+  wire_request.if_modified_since = if_modified_since;
+  transport::WireResponse wire = transport_->post(endpoint_, wire_request);
+  out.directives = wire.directives;
+  out.response_xml = std::move(wire.body);
+  out.last_modified = wire.last_modified;
+  if (wire.not_modified) {
+    out.not_modified = true;
+    return out;  // empty body by definition of 304
+  }
+
+  soap::ResponseReader reader(op);
+  if (record_events) {
+    // One parse feeds both the deserializer and the recorder (miss path of
+    // the SAX representation never tokenizes twice).
+    xml::EventRecorder recorder;
+    xml::TeeHandler tee(reader, recorder);
+    xml::SaxParser{}.parse(out.response_xml, tee);
+    out.events = recorder.take();
+  } else {
+    xml::SaxParser{}.parse(out.response_xml, reader);
+  }
+  out.object = reader.take();  // throws SoapFault if the body was a fault
+  return out;
+}
+
+}  // namespace wsc::cache

@@ -1,0 +1,108 @@
+// CachingServiceClient: the Web-services client middleware stub with the
+// transparent response cache of Figure 1.
+//
+// The user application calls invoke(operation, params) exactly as it would
+// on an uncached Axis stub; caching is configured by the administrator via
+// CachePolicy and is invisible to the application ("the response cache can
+// be used without any changes to the user client application").
+//
+// Per-call pipeline:
+//   1. look the operation up in the WSDL contract,
+//   2. policy check — uncacheable operations go straight to the wire,
+//   3. generate the cache key with the configured KeyMethod,
+//   4. hit  -> CachedValue::retrieve() (the Table 7 cost),
+//   5. miss -> serialize, POST via the Transport, parse the reply —
+//      teeing the parse into an EventRecorder when the SAX representation
+//      will be stored, so the miss path never parses twice —
+//      store in the resolved representation, return the fresh object.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cache_key.hpp"
+#include "core/cached_value.hpp"
+#include "core/policy.hpp"
+#include "core/response_cache.hpp"
+#include "soap/message.hpp"
+#include "transport/transport.hpp"
+#include "util/uri.hpp"
+#include "wsdl/description.hpp"
+
+namespace wsc::cache {
+
+class CachingServiceClient {
+ public:
+  struct Options {
+    KeyMethod key_method = KeyMethod::ToString;
+    CachePolicy policy;
+    bool caching_enabled = true;
+  };
+
+  /// `description` is shared because cache entries (XML / SAX
+  /// representations) reference its OperationInfos and may outlive this
+  /// stub.
+  CachingServiceClient(std::shared_ptr<transport::Transport> transport,
+                       std::shared_ptr<const wsdl::ServiceDescription> description,
+                       std::string endpoint_url,
+                       std::shared_ptr<ResponseCache> cache, Options options);
+
+  /// Invoke an operation.  Returns the response application object (null
+  /// for void operations).  Throws:
+  ///   soap::SoapFault        - server-side fault
+  ///   wsc::TransportError    - delivery failure
+  ///   wsc::SerializationError - configured key method / representation
+  ///                             cannot handle the operation's types
+  reflect::Object invoke(const std::string& operation,
+                         std::vector<soap::Parameter> params);
+
+  /// The key this client would use for a request (exposed for explicit
+  /// invalidation and for the key benchmarks).
+  CacheKey key_for(const std::string& operation,
+                   const std::vector<soap::Parameter>& params) const;
+
+  /// Drop the cached entry for one exact request; true if present.
+  bool invalidate(const std::string& operation,
+                  const std::vector<soap::Parameter>& params);
+
+  ResponseCache& cache() noexcept { return *cache_; }
+  const wsdl::ServiceDescription& description() const noexcept {
+    return *description_;
+  }
+  const std::string& endpoint() const noexcept { return endpoint_url_; }
+  void set_caching_enabled(bool enabled) noexcept {
+    options_.caching_enabled = enabled;
+  }
+
+ private:
+  struct CallResult {
+    reflect::Object object;
+    std::string response_xml;
+    xml::EventSequence events;  // only filled when requested
+    http::CacheDirectives directives;
+    bool not_modified = false;  // 304 answer to a conditional request
+    std::optional<std::chrono::seconds> last_modified;
+  };
+
+  CallResult remote_call(
+      const soap::RpcRequest& request, const wsdl::OperationInfo& op,
+      bool record_events,
+      std::optional<std::chrono::seconds> if_modified_since = std::nullopt);
+
+  soap::RpcRequest build_request(const std::string& operation,
+                                 std::vector<soap::Parameter> params) const;
+
+  std::shared_ptr<const wsdl::OperationInfo> share_op(
+      const wsdl::OperationInfo& op) const;
+
+  std::shared_ptr<transport::Transport> transport_;
+  std::shared_ptr<const wsdl::ServiceDescription> description_;
+  std::string endpoint_url_;
+  util::Uri endpoint_;
+  std::shared_ptr<ResponseCache> cache_;
+  Options options_;
+  std::unique_ptr<KeyGenerator> keygen_;
+};
+
+}  // namespace wsc::cache

@@ -1,0 +1,51 @@
+#include "core/policy.hpp"
+
+#include <algorithm>
+
+namespace wsc::cache {
+
+CachePolicy& CachePolicy::set(const std::string& operation,
+                              OperationPolicy policy) {
+  policies_[operation] = policy;
+  return *this;
+}
+
+CachePolicy& CachePolicy::cacheable(const std::string& operation,
+                                    std::chrono::milliseconds ttl,
+                                    Representation representation) {
+  OperationPolicy p;
+  p.cacheable = true;
+  p.ttl = ttl;
+  p.representation = representation;
+  return set(operation, p);
+}
+
+CachePolicy& CachePolicy::uncacheable(const std::string& operation) {
+  return set(operation, OperationPolicy{});
+}
+
+const OperationPolicy& CachePolicy::lookup(std::string_view operation) const {
+  auto it = policies_.find(operation);
+  return it == policies_.end() ? default_policy_ : it->second;
+}
+
+CachePolicy& CachePolicy::honor_server_directives(bool honor) {
+  honor_server_ = honor;
+  return *this;
+}
+
+std::optional<std::chrono::milliseconds> CachePolicy::effective_ttl(
+    const OperationPolicy& policy,
+    const http::CacheDirectives& directives) const {
+  if (!policy.cacheable) return std::nullopt;
+  if (!honor_server_) return policy.ttl;
+  if (!directives.cacheable()) return std::nullopt;
+  if (directives.max_age) {
+    auto server_ttl =
+        std::chrono::duration_cast<std::chrono::milliseconds>(*directives.max_age);
+    return std::min(policy.ttl, server_ttl);
+  }
+  return policy.ttl;
+}
+
+}  // namespace wsc::cache

@@ -1,0 +1,77 @@
+// Cache policy: which operations are cacheable, for how long, and in which
+// representation (paper section 3.2).
+//
+// "We suggest that these cache policies are configured by a client
+// application administrator or deployer" — this header is that
+// configuration surface.  Policies are per-operation; the default for an
+// unconfigured operation is UNCACHEABLE, the safe choice for unknown
+// (possibly state-changing) operations like Amazon's cart calls.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/representation.hpp"
+#include "http/cache_headers.hpp"
+
+namespace wsc::cache {
+
+struct OperationPolicy {
+  bool cacheable = false;
+  /// Entry lifetime; "short enough to avoid consistency problems" is a
+  /// service-semantics judgement the administrator makes (e.g. one hour for
+  /// Google operations).
+  std::chrono::milliseconds ttl{std::chrono::hours(1)};
+  /// Representation, Auto = section-6 runtime classification.
+  Representation representation = Representation::Auto;
+  /// §4.2.4: the administrator asserts the client never mutates the
+  /// returned object, enabling pass-by-reference for mutable types.
+  bool read_only = false;
+  /// Auto mode: prefer the generated clone over reflection when available.
+  bool prefer_clone = false;
+  /// After TTL expiry, try an If-Modified-Since revalidation before a full
+  /// refetch (needs a server that sends Last-Modified; §3.2's HTTP hook).
+  /// A 304 renews the entry's lease without reparsing or re-storing.
+  bool revalidate = false;
+};
+
+class CachePolicy {
+ public:
+  /// Configure one operation.
+  CachePolicy& set(const std::string& operation, OperationPolicy policy);
+
+  /// Shorthand: mark cacheable with a TTL and default Auto representation.
+  CachePolicy& cacheable(const std::string& operation,
+                         std::chrono::milliseconds ttl = std::chrono::hours(1),
+                         Representation representation = Representation::Auto);
+
+  /// Explicitly uncacheable (documents intent; same as not configuring).
+  CachePolicy& uncacheable(const std::string& operation);
+
+  /// Policy lookup; unconfigured operations return the uncacheable default.
+  const OperationPolicy& lookup(std::string_view operation) const;
+
+  /// When true (default), a server Cache-Control response header tightens
+  /// the administrator's configuration: no-store/no-cache suppresses
+  /// storing, max-age lowers the TTL.  The server can only make caching
+  /// more conservative, never enable it (§3.2: policy responsibility stays
+  /// with the client administrator).
+  CachePolicy& honor_server_directives(bool honor);
+  bool honors_server_directives() const noexcept { return honor_server_; }
+
+  /// Effective TTL after applying server directives to the configured
+  /// policy; nullopt means "do not store at all".
+  std::optional<std::chrono::milliseconds> effective_ttl(
+      const OperationPolicy& policy,
+      const http::CacheDirectives& directives) const;
+
+ private:
+  std::map<std::string, OperationPolicy, std::less<>> policies_;
+  OperationPolicy default_policy_{};  // uncacheable
+  bool honor_server_ = true;
+};
+
+}  // namespace wsc::cache

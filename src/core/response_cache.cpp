@@ -1,0 +1,176 @@
+#include "core/response_cache.hpp"
+
+namespace wsc::cache {
+
+ResponseCache::ResponseCache(Config config, const util::Clock& clock)
+    : config_(config), clock_(&clock) {
+  if (config_.shards == 0) config_.shards = 1;
+  per_shard_entries_ =
+      std::max<std::size_t>(1, config_.max_entries / config_.shards);
+  per_shard_bytes_ =
+      std::max<std::size_t>(1, config_.max_bytes / config_.shards);
+  shards_.reserve(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+ResponseCache::Shard& ResponseCache::shard_for(const CacheKey& key) {
+  // The table index uses the low hash bits; pick shards from the high ones
+  // so the two partitions stay independent.
+  return *shards_[(key.hash() >> 48) % shards_.size()];
+}
+
+std::shared_ptr<const CachedValue> ResponseCache::lookup(const CacheKey& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    stats_.on_miss();
+    return nullptr;
+  }
+  if (clock_->now() >= it->second.expiry) {
+    erase_locked(shard, it);
+    stats_.on_expiration();
+    stats_.on_miss();
+    return nullptr;
+  }
+  // Refresh LRU position.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  stats_.on_hit();
+  return it->second.value;
+}
+
+void ResponseCache::store(const CacheKey& key,
+                          std::shared_ptr<const CachedValue> value,
+                          std::chrono::milliseconds ttl,
+                          std::optional<std::chrono::seconds> last_modified) {
+  std::size_t bytes = key.memory_size() + value->memory_size();
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) erase_locked(shard, it);
+
+  shard.lru.push_front(key);
+  Entry entry;
+  entry.value = std::move(value);
+  entry.expiry = clock_->now() + ttl;
+  entry.last_modified = last_modified;
+  entry.bytes = bytes;
+  entry.lru_it = shard.lru.begin();
+  shard.map.emplace(key, std::move(entry));
+  shard.bytes += bytes;
+  stats_.on_store();
+  evict_for_budget_locked(shard);
+}
+
+ResponseCache::StaleLookup ResponseCache::lookup_for_revalidation(
+    const CacheKey& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    stats_.on_miss();
+    return {};
+  }
+  StaleLookup out;
+  out.value = it->second.value;
+  out.fresh = clock_->now() < it->second.expiry;
+  out.last_modified = it->second.last_modified;
+  if (out.fresh) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    stats_.on_hit();
+  }
+  // Stale entries: outcome (refresh vs re-store vs drop) is the caller's.
+  return out;
+}
+
+bool ResponseCache::refresh(const CacheKey& key, std::chrono::milliseconds ttl) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  it->second.expiry = clock_->now() + ttl;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  stats_.on_revalidation();
+  return true;
+}
+
+bool ResponseCache::invalidate(const CacheKey& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return false;
+  erase_locked(shard, it);
+  stats_.on_invalidation();
+  return true;
+}
+
+void ResponseCache::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    std::size_t n = shard->map.size();
+    shard->map.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+    for (std::size_t i = 0; i < n; ++i) stats_.on_invalidation();
+  }
+}
+
+std::size_t ResponseCache::purge_expired() {
+  util::TimePoint now = clock_->now();
+  std::size_t removed = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    for (auto it = shard->map.begin(); it != shard->map.end();) {
+      if (now >= it->second.expiry) {
+        auto victim = it++;
+        erase_locked(*shard, victim);
+        stats_.on_expiration();
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return removed;
+}
+
+std::size_t ResponseCache::entry_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->map.size();
+  }
+  return n;
+}
+
+std::size_t ResponseCache::bytes_used() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    n += shard->bytes;
+  }
+  return n;
+}
+
+StatsSnapshot ResponseCache::stats() const {
+  return stats_.snapshot(entry_count(), bytes_used());
+}
+
+void ResponseCache::erase_locked(Shard& shard, Map::iterator it) {
+  shard.bytes -= it->second.bytes;
+  shard.lru.erase(it->second.lru_it);
+  shard.map.erase(it);
+}
+
+void ResponseCache::evict_for_budget_locked(Shard& shard) {
+  while (shard.map.size() > per_shard_entries_ ||
+         (shard.bytes > per_shard_bytes_ && shard.map.size() > 1)) {
+    // Evict the least recently used entry (back of the list).
+    auto it = shard.map.find(shard.lru.back());
+    erase_locked(shard, it);
+    stats_.on_eviction();
+  }
+}
+
+}  // namespace wsc::cache

@@ -1,0 +1,41 @@
+#include "core/stats.hpp"
+
+#include <cstdio>
+
+namespace wsc::cache {
+
+std::string StatsSnapshot::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "hits=%llu misses=%llu (ratio %.1f%%) stores=%llu "
+                "expired=%llu evicted=%llu revalidated=%llu uncacheable=%llu "
+                "entries=%llu bytes=%llu",
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses), hit_ratio() * 100.0,
+                static_cast<unsigned long long>(stores),
+                static_cast<unsigned long long>(expirations),
+                static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(revalidations),
+                static_cast<unsigned long long>(uncacheable),
+                static_cast<unsigned long long>(entries),
+                static_cast<unsigned long long>(bytes));
+  return buf;
+}
+
+StatsSnapshot CacheStats::snapshot(std::uint64_t entries,
+                                   std::uint64_t bytes) const {
+  StatsSnapshot s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.expirations = expirations_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.revalidations = revalidations_.load(std::memory_order_relaxed);
+  s.uncacheable = uncacheable_.load(std::memory_order_relaxed);
+  s.entries = entries;
+  s.bytes = bytes;
+  return s;
+}
+
+}  // namespace wsc::cache

@@ -1,0 +1,50 @@
+// Cache instrumentation counters (thread-safe).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace wsc::cache {
+
+/// Point-in-time snapshot, cheap to copy into reports.
+struct StatsSnapshot {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t expirations = 0;   // entries found expired on lookup
+  std::uint64_t evictions = 0;     // LRU / byte-budget removals
+  std::uint64_t invalidations = 0; // explicit invalidate()/clear()
+  std::uint64_t revalidations = 0; // stale entries refreshed via 304
+  std::uint64_t uncacheable = 0;   // calls bypassing the cache per policy
+  std::uint64_t entries = 0;       // current entry count
+  std::uint64_t bytes = 0;         // current approximate footprint
+
+  double hit_ratio() const {
+    std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+
+  std::string to_string() const;
+};
+
+class CacheStats {
+ public:
+  void on_hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void on_miss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+  void on_store() { stores_.fetch_add(1, std::memory_order_relaxed); }
+  void on_expiration() { expirations_.fetch_add(1, std::memory_order_relaxed); }
+  void on_eviction() { evictions_.fetch_add(1, std::memory_order_relaxed); }
+  void on_invalidation() { invalidations_.fetch_add(1, std::memory_order_relaxed); }
+  void on_revalidation() { revalidations_.fetch_add(1, std::memory_order_relaxed); }
+  void on_uncacheable() { uncacheable_.fetch_add(1, std::memory_order_relaxed); }
+
+  StatsSnapshot snapshot(std::uint64_t entries, std::uint64_t bytes) const;
+
+ private:
+  std::atomic<std::uint64_t> hits_{0}, misses_{0}, stores_{0},
+      expirations_{0}, evictions_{0}, invalidations_{0}, revalidations_{0},
+      uncacheable_{0};
+};
+
+}  // namespace wsc::cache

@@ -1,0 +1,89 @@
+#include "http/cache_headers.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wsc::http {
+
+CacheDirectives parse_cache_control(std::string_view value) {
+  CacheDirectives out;
+  for (const std::string& raw : util::split(value, ',')) {
+    std::string_view item = util::trim(raw);
+    if (util::iequals(item, "no-store")) {
+      out.no_store = true;
+    } else if (util::iequals(item, "no-cache")) {
+      out.no_cache = true;
+    } else if (util::starts_with(util::to_lower(item), "max-age=")) {
+      try {
+        out.max_age = std::chrono::seconds(util::parse_i64(item.substr(8)));
+      } catch (const wsc::Error&) {
+        // Malformed max-age: be conservative, treat as uncacheable.
+        out.no_cache = true;
+      }
+    }
+    // Unknown directives: ignore.
+  }
+  return out;
+}
+
+CacheDirectives cache_directives(const Response& response) {
+  if (auto cc = response.headers.get("Cache-Control"))
+    return parse_cache_control(*cc);
+  return {};
+}
+
+std::string format_cache_control(const CacheDirectives& d) {
+  std::string out;
+  auto append = [&out](std::string_view item) {
+    if (!out.empty()) out += ", ";
+    out += item;
+  };
+  if (d.no_store) append("no-store");
+  if (d.no_cache) append("no-cache");
+  if (d.max_age) append("max-age=" + std::to_string(d.max_age->count()));
+  if (out.empty()) out = "public";
+  return out;
+}
+
+namespace {
+constexpr const char* kDays[] = {"Thu", "Fri", "Sat", "Sun", "Mon", "Tue", "Wed"};
+constexpr const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                   "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+}  // namespace
+
+std::string format_http_date(std::chrono::seconds since_epoch) {
+  // Simulated civil time on top of a plain second counter (days since
+  // 1970-01-01; month arithmetic simplified to 30-day months — both ends of
+  // our stack use the same functions, so round-tripping is exact).
+  long long total = since_epoch.count();
+  long long days = total / 86400;
+  long long rem = total % 86400;
+  int year = static_cast<int>(1970 + days / 360);
+  int month = static_cast<int>((days % 360) / 30);
+  int mday = static_cast<int>((days % 360) % 30 + 1);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s, %02d %s %04d %02lld:%02lld:%02lld GMT",
+                kDays[days % 7], mday, kMonths[month], year, rem / 3600,
+                (rem / 60) % 60, rem % 60);
+  return buf;
+}
+
+std::optional<std::chrono::seconds> parse_http_date(std::string_view text) {
+  char day[4], mon[4];
+  int mday, year, h, m, s;
+  if (std::sscanf(std::string(text).c_str(), "%3s, %2d %3s %4d %2d:%2d:%2d GMT",
+                  day, &mday, mon, &year, &h, &m, &s) != 7)
+    return std::nullopt;
+  int month = -1;
+  for (int i = 0; i < 12; ++i) {
+    if (std::string_view(mon) == kMonths[i]) month = i;
+  }
+  if (month < 0 || mday < 1) return std::nullopt;
+  long long days =
+      static_cast<long long>(year - 1970) * 360 + month * 30 + (mday - 1);
+  return std::chrono::seconds(days * 86400 + h * 3600 + m * 60 + s);
+}
+
+}  // namespace wsc::http

@@ -1,0 +1,47 @@
+// HTTP/1.1 cache-consistency headers (paper section 3.2).
+//
+// The paper notes that since SOAP usually rides on HTTP, the standard
+// Cache-Control / If-Modified-Since machinery "can be applied to our
+// response caching in Web services".  This module parses/emits the subset
+// needed for that hook: max-age, no-store/no-cache, and 304 revalidation
+// timestamps.  The transport layer surfaces a parsed CacheDirectives to the
+// cache policy so a server-supplied TTL can override the client
+// administrator's configuration.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/message.hpp"
+
+namespace wsc::http {
+
+struct CacheDirectives {
+  bool no_store = false;
+  bool no_cache = false;
+  std::optional<std::chrono::seconds> max_age;
+
+  /// True if a cache may store the response at all.
+  bool cacheable() const noexcept { return !no_store && !no_cache; }
+};
+
+/// Parse a Cache-Control header value ("max-age=3600, no-cache" ...).
+/// Unknown directives are ignored, as the RFC requires.
+CacheDirectives parse_cache_control(std::string_view value);
+
+/// Extract directives from a response's headers; absent header => all
+/// defaults (cacheable, no explicit TTL).
+CacheDirectives cache_directives(const Response& response);
+
+/// Render directives back to a header value (used by the dummy services to
+/// advertise per-operation TTLs).
+std::string format_cache_control(const CacheDirectives& d);
+
+/// HTTP-date (RFC 7231 IMF-fixdate) formatting/parsing for
+/// If-Modified-Since / Last-Modified, on a simulated epoch counter.
+std::string format_http_date(std::chrono::seconds since_epoch);
+std::optional<std::chrono::seconds> parse_http_date(std::string_view text);
+
+}  // namespace wsc::http

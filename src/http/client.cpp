@@ -1,0 +1,55 @@
+#include "http/client.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wsc::http {
+
+void HttpConnection::ensure_connected() {
+  if (!stream_.valid()) {
+    stream_ = TcpStream::connect(host_, port_);
+    leftover_.clear();
+  }
+}
+
+Response HttpConnection::round_trip(const Request& request) {
+  bool was_connected = stream_.valid();
+  try {
+    ensure_connected();
+    return try_round_trip(request);
+  } catch (const TransportError&) {
+    if (!was_connected) throw;  // fresh connection already failed: real error
+    // Stale keep-alive connection (server closed it between requests):
+    // reconnect once and retry.
+    stream_.close();
+    ensure_connected();
+    return try_round_trip(request);
+  }
+}
+
+Response HttpConnection::try_round_trip(const Request& request) {
+  stream_.write_all(request.to_bytes());
+  ResponseParser parser;
+  if (!leftover_.empty()) {
+    std::size_t used = parser.feed(leftover_);
+    leftover_.erase(0, used);
+  }
+  char buf[16 * 1024];
+  while (!parser.complete()) {
+    std::size_t n = stream_.read_some(buf, sizeof(buf));
+    if (n == 0) {
+      stream_.close();
+      throw TransportError("connection closed mid-response");
+    }
+    std::size_t used = parser.feed(std::string_view(buf, n));
+    if (used < n) leftover_.append(buf + used, n - used);
+  }
+  Response response = parser.take();
+  if (auto conn = response.headers.get("Connection");
+      conn && util::iequals(*conn, "close")) {
+    stream_.close();
+  }
+  return response;
+}
+
+}  // namespace wsc::http

@@ -1,0 +1,41 @@
+// HTTP/1.1 client with a persistent (keep-alive) connection.
+//
+// One HttpConnection per (host, port); the transport layer pools them per
+// thread so the benchmark's request loop measures processing, not TCP
+// handshakes — matching the persistent connections Axis/Tomcat used.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "http/socket.hpp"
+
+namespace wsc::http {
+
+class HttpConnection {
+ public:
+  HttpConnection(std::string host, std::uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  /// Send a request and wait for the response.  Reconnects transparently
+  /// (once) if the pooled connection has gone stale.  Throws
+  /// wsc::TransportError on network failure, wsc::ParseError on protocol
+  /// violations.
+  Response round_trip(const Request& request);
+
+  const std::string& host() const noexcept { return host_; }
+  std::uint16_t port() const noexcept { return port_; }
+
+ private:
+  Response try_round_trip(const Request& request);
+  void ensure_connected();
+
+  std::string host_;
+  std::uint16_t port_;
+  TcpStream stream_;
+  std::string leftover_;  // pipelined bytes past the previous response
+};
+
+}  // namespace wsc::http

@@ -1,0 +1,71 @@
+#include "http/message.hpp"
+
+#include "util/strings.hpp"
+
+namespace wsc::http {
+
+void Headers::set(std::string name, std::string value) {
+  for (auto& [n, v] : items_) {
+    if (util::iequals(n, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  items_.emplace_back(std::move(name), std::move(value));
+}
+
+void Headers::add(std::string name, std::string value) {
+  items_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string_view> Headers::get(std::string_view name) const {
+  for (const auto& [n, v] : items_) {
+    if (util::iequals(n, name)) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+void append_headers(std::string& out, const Headers& headers,
+                    std::size_t body_size, bool has_content_length) {
+  for (const auto& [n, v] : headers.all()) out += n + ": " + v + "\r\n";
+  if (!has_content_length)
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  out += "\r\n";
+}
+
+}  // namespace
+
+std::string Request::to_bytes() const {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  append_headers(out, headers, body.size(), headers.contains("Content-Length"));
+  out += body;
+  return out;
+}
+
+std::string Response::to_bytes() const {
+  std::string phrase = reason.empty() ? std::string(reason_phrase(status)) : reason;
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " + phrase + "\r\n";
+  append_headers(out, headers, body.size(), headers.contains("Content-Length"));
+  out += body;
+  return out;
+}
+
+std::string_view reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 204: return "No Content";
+    case 304: return "Not Modified";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace wsc::http

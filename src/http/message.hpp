@@ -1,0 +1,55 @@
+// HTTP/1.1 message model.
+//
+// SOAP in 2004 rode almost exclusively on HTTP POST; the paper's portal
+// scenario runs Axis inside Tomcat.  This model carries both the SOAP
+// traffic (src/transport) and the portal's page responses (src/portal).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wsc::http {
+
+/// Header list preserving insertion order; name matching is
+/// case-insensitive per RFC 7230.
+class Headers {
+ public:
+  void set(std::string name, std::string value);      // replace-or-append
+  void add(std::string name, std::string value);      // always append
+  std::optional<std::string_view> get(std::string_view name) const;
+  bool contains(std::string_view name) const { return get(name).has_value(); }
+  const std::vector<std::pair<std::string, std::string>>& all() const {
+    return items_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  Headers headers;
+  std::string body;
+
+  /// Serialize head+body with Content-Length framing.
+  std::string to_bytes() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason;  // empty => standard phrase for status
+  Headers headers;
+  std::string body;
+
+  std::string to_bytes() const;
+};
+
+/// Standard reason phrase ("OK", "Not Modified", ...).
+std::string_view reason_phrase(int status);
+
+}  // namespace wsc::http

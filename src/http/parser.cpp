@@ -1,0 +1,137 @@
+#include "http/parser.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wsc::http {
+
+namespace detail {
+
+namespace {
+constexpr std::size_t kMaxHeadBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 256 * 1024 * 1024;
+}  // namespace
+
+std::size_t MessageAssembler::feed(std::string_view data) {
+  std::size_t consumed = 0;
+  if (state_ == State::Head) {
+    // Accumulate until the blank line; search with overlap for split CRLF.
+    std::size_t scan_from = head_buf_.size() >= 3 ? head_buf_.size() - 3 : 0;
+    head_buf_.append(data);
+    consumed = data.size();
+    auto end = head_buf_.find("\r\n\r\n", scan_from);
+    if (end == std::string::npos) {
+      if (head_buf_.size() > kMaxHeadBytes)
+        throw ParseError("HTTP: header section too large");
+      return consumed;
+    }
+    // Bytes past the head belong to the body (or the next message).
+    std::string rest = head_buf_.substr(end + 4);
+    head_buf_.resize(end);
+    parse_head(head_buf_);
+    state_ = body_expected_ == 0 ? State::Done : State::Body;
+    if (!rest.empty()) {
+      std::size_t used = 0;
+      if (state_ == State::Body) {
+        used = std::min(rest.size(), body_expected_ - body().size());
+        body().append(rest.substr(0, used));
+        if (body().size() == body_expected_) state_ = State::Done;
+      }
+      // Unconsumed overflow was counted in `consumed` above; give it back.
+      consumed -= rest.size() - used;
+    }
+    return consumed;
+  }
+  if (state_ == State::Body) {
+    std::size_t need = body_expected_ - body().size();
+    std::size_t used = std::min(need, data.size());
+    body().append(data.substr(0, used));
+    if (body().size() == body_expected_) state_ = State::Done;
+    return used;
+  }
+  return 0;  // Done: caller should take() and reset
+}
+
+void MessageAssembler::parse_head(std::string_view head) {
+  auto line_end = head.find("\r\n");
+  std::string_view start_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  on_start_line(start_line);
+
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view{} : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    auto eol = rest.find("\r\n");
+    std::string_view line = eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view{} : rest.substr(eol + 2);
+    if (line.empty()) continue;
+    auto colon = line.find(':');
+    if (colon == std::string_view::npos)
+      throw ParseError("HTTP: malformed header line '" + std::string(line) + "'");
+    headers().add(std::string(util::trim(line.substr(0, colon))),
+                  std::string(util::trim(line.substr(colon + 1))));
+  }
+
+  if (auto te = headers().get("Transfer-Encoding");
+      te && !util::iequals(*te, "identity"))
+    throw ParseError("HTTP: Transfer-Encoding not supported");
+  body_expected_ = 0;
+  if (auto cl = headers().get("Content-Length")) {
+    std::int64_t n = util::parse_i64(*cl);
+    if (n < 0 || static_cast<std::size_t>(n) > kMaxBodyBytes)
+      throw ParseError("HTTP: bad Content-Length");
+    body_expected_ = static_cast<std::size_t>(n);
+  }
+  body().reserve(body_expected_);
+}
+
+void MessageAssembler::reset_framing() {
+  state_ = State::Head;
+  head_buf_.clear();
+  body_expected_ = 0;
+}
+
+}  // namespace detail
+
+void RequestParser::on_start_line(std::string_view line) {
+  auto parts = util::split(line, ' ');
+  if (parts.size() != 3)
+    throw ParseError("HTTP: malformed request line '" + std::string(line) + "'");
+  if (parts[2] != "HTTP/1.1" && parts[2] != "HTTP/1.0")
+    throw ParseError("HTTP: unsupported version '" + parts[2] + "'");
+  request_.method = parts[0];
+  request_.target = parts[1];
+}
+
+Request RequestParser::take() {
+  if (!complete()) throw ParseError("HTTP: take() before message complete");
+  Request out = std::move(request_);
+  request_ = Request{};
+  reset_framing();
+  return out;
+}
+
+void ResponseParser::on_start_line(std::string_view line) {
+  // "HTTP/1.1 200 OK" — the reason phrase may contain spaces or be empty.
+  if (!util::starts_with(line, "HTTP/1."))
+    throw ParseError("HTTP: malformed status line '" + std::string(line) + "'");
+  auto sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos)
+    throw ParseError("HTTP: malformed status line '" + std::string(line) + "'");
+  auto sp2 = line.find(' ', sp1 + 1);
+  std::string_view code = line.substr(
+      sp1 + 1, sp2 == std::string_view::npos ? std::string_view::npos : sp2 - sp1 - 1);
+  response_.status = util::parse_i32(code);
+  response_.reason =
+      sp2 == std::string_view::npos ? "" : std::string(line.substr(sp2 + 1));
+}
+
+Response ResponseParser::take() {
+  if (!complete()) throw ParseError("HTTP: take() before message complete");
+  Response out = std::move(response_);
+  response_ = Response{};
+  reset_framing();
+  return out;
+}
+
+}  // namespace wsc::http

@@ -1,0 +1,70 @@
+// Incremental HTTP/1.1 message parser (Content-Length framing).
+//
+// Feed bytes as they arrive; `complete()` flips once head+body are in.
+// Works for requests and responses via two thin wrappers.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "http/message.hpp"
+
+namespace wsc::http {
+
+namespace detail {
+
+/// Shared framing logic: accumulates the head until CRLFCRLF, parses the
+/// start line via a callback, collects headers, then reads a Content-Length
+/// body.  Throws wsc::ParseError on protocol violations.
+class MessageAssembler {
+ public:
+  /// Returns the number of bytes consumed from `data`; call again with the
+  /// remainder after complete() (pipelined messages).
+  std::size_t feed(std::string_view data);
+  bool complete() const noexcept { return state_ == State::Done; }
+
+ protected:
+  virtual ~MessageAssembler() = default;
+  virtual void on_start_line(std::string_view line) = 0;
+  virtual Headers& headers() = 0;
+  virtual std::string& body() = 0;
+
+  void reset_framing();
+
+ private:
+  void parse_head(std::string_view head);
+
+  enum class State { Head, Body, Done };
+  State state_ = State::Head;
+  std::string head_buf_;
+  std::size_t body_expected_ = 0;
+};
+
+}  // namespace detail
+
+class RequestParser final : public detail::MessageAssembler {
+ public:
+  /// The parsed request; valid once complete().
+  Request take();
+
+ private:
+  void on_start_line(std::string_view line) override;
+  Headers& headers() override { return request_.headers; }
+  std::string& body() override { return request_.body; }
+
+  Request request_;
+};
+
+class ResponseParser final : public detail::MessageAssembler {
+ public:
+  Response take();
+
+ private:
+  void on_start_line(std::string_view line) override;
+  Headers& headers() override { return response_.headers; }
+  std::string& body() override { return response_.body; }
+
+  Response response_;
+};
+
+}  // namespace wsc::http

@@ -1,0 +1,116 @@
+#include "http/server.hpp"
+
+#include "http/parser.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/logging.hpp"
+
+namespace wsc::http {
+
+HttpServer::HttpServer(std::uint16_t port, Handler handler)
+    : listener_(port), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  if (running_.exchange(true)) return;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  listener_.shutdown();
+  if (acceptor_.joinable()) acceptor_.join();
+  {
+    // Wake workers parked in recv() on idle keep-alive connections.
+    std::lock_guard lock(conns_mu_);
+    for (TcpStream* s : active_conns_) s->shutdown_both();
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mu_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    TcpStream stream;
+    try {
+      stream = listener_.accept();
+    } catch (const TransportError& e) {
+      if (!running_) return;
+      util::log(util::LogLevel::Warn, "accept failed: ", e.what());
+      continue;
+    }
+    if (!stream.valid()) return;  // listener shut down
+    std::lock_guard lock(workers_mu_);
+    if (!running_) return;
+    workers_.emplace_back(
+        [this, s = std::move(stream)]() mutable { serve_connection(std::move(s)); });
+  }
+}
+
+void HttpServer::register_connection(TcpStream& stream) {
+  std::lock_guard lock(conns_mu_);
+  active_conns_.insert(&stream);
+  if (!running_.load(std::memory_order_acquire)) stream.shutdown_both();
+}
+
+void HttpServer::unregister_connection(TcpStream& stream) {
+  std::lock_guard lock(conns_mu_);
+  active_conns_.erase(&stream);
+}
+
+void HttpServer::serve_connection(TcpStream stream) {
+  register_connection(stream);
+  struct Unregister {
+    HttpServer* server;
+    TcpStream* stream;
+    ~Unregister() { server->unregister_connection(*stream); }
+  } unregister{this, &stream};
+
+  RequestParser parser;
+  std::string pending;
+  char buf[16 * 1024];
+  try {
+    while (running_.load(std::memory_order_acquire)) {
+      // Drain any pipelined bytes first, then read from the socket.
+      while (!parser.complete() && !pending.empty()) {
+        std::size_t used = parser.feed(pending);
+        pending.erase(0, used);
+        if (used == 0) break;
+      }
+      while (!parser.complete()) {
+        std::size_t n = stream.read_some(buf, sizeof(buf));
+        if (n == 0) return;  // peer closed between requests
+        std::size_t used = parser.feed(std::string_view(buf, n));
+        if (used < n) pending.append(buf + used, n - used);
+      }
+      Request request = parser.take();
+      Response response;
+      try {
+        response = handler_(request);
+      } catch (const std::exception& e) {
+        response.status = 500;
+        response.headers.set("Content-Type", "text/plain");
+        response.body = std::string("internal error: ") + e.what();
+      }
+      bool close = false;
+      if (auto conn = request.headers.get("Connection");
+          conn && util::iequals(*conn, "close"))
+        close = true;
+      if (close) response.headers.set("Connection", "close");
+      stream.write_all(response.to_bytes());
+      if (close) return;
+    }
+  } catch (const Error& e) {
+    // Protocol violation or I/O error: drop the connection, as servers do.
+    util::log(util::LogLevel::Debug, "connection error: ", e.what());
+  }
+}
+
+}  // namespace wsc::http

@@ -1,0 +1,61 @@
+// Threaded HTTP/1.1 server with keep-alive — the Tomcat stand-in.
+//
+// An acceptor thread hands each connection to a worker thread that serves
+// requests until the peer disconnects.  `Handler` is invoked once per
+// request; exceptions map to 500 responses so a buggy service cannot wedge
+// a connection.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "http/message.hpp"
+#include "http/socket.hpp"
+
+namespace wsc::http {
+
+using Handler = std::function<Response(const Request&)>;
+
+class HttpServer {
+ public:
+  /// Binds immediately (port 0 = auto); call start() to begin serving.
+  HttpServer(std::uint16_t port, Handler handler);
+
+  /// Stops and joins all threads.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  void start();
+  void stop();
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+  std::string base_url() const {
+    return "http://127.0.0.1:" + std::to_string(port());
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(TcpStream stream);
+  void register_connection(TcpStream& stream);
+  void unregister_connection(TcpStream& stream);
+
+  TcpListener listener_;
+  Handler handler_;
+  std::thread acceptor_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+  // Sockets currently being served; stop() shuts them down so workers
+  // blocked in recv() on an idle keep-alive connection wake and exit.
+  std::mutex conns_mu_;
+  std::set<TcpStream*> active_conns_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace wsc::http

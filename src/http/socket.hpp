@@ -1,0 +1,73 @@
+// Thin RAII layer over POSIX TCP sockets (loopback usage).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wsc::http {
+
+/// Connected stream socket.  Move-only RAII over the fd.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(int fd) : fd_(fd) {}
+  ~TcpStream();
+
+  TcpStream(TcpStream&& other) noexcept;
+  TcpStream& operator=(TcpStream&& other) noexcept;
+  TcpStream(const TcpStream&) = delete;
+  TcpStream& operator=(const TcpStream&) = delete;
+
+  /// Connect to host:port; throws wsc::TransportError.
+  static TcpStream connect(const std::string& host, std::uint16_t port);
+
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Write all bytes; throws TransportError on failure.
+  void write_all(std::string_view data);
+
+  /// Read up to buf_len bytes; returns 0 on orderly shutdown; throws on
+  /// error.
+  std::size_t read_some(char* buf, std::size_t buf_len);
+
+  void close() noexcept;
+
+  /// Half-close both directions without releasing the fd: unblocks a peer
+  /// (or our own thread) sleeping in recv().  Safe to call from another
+  /// thread while the owner is blocked on this socket.
+  void shutdown_both() noexcept;
+
+  /// Raw descriptor (for connection registries); -1 when closed.
+  int fd() const noexcept { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Bind/listen on loopback; port 0 picks a free port.  Throws
+  /// TransportError.
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Accept the next connection.  Returns an invalid stream if the listener
+  /// was shut down.  Throws TransportError on other failures.
+  TcpStream accept();
+
+  /// Unblock pending accept() calls and stop accepting.
+  void shutdown() noexcept;
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace wsc::http

@@ -1,0 +1,121 @@
+#include "portal/load_sim.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "http/client.hpp"
+#include "portal/query_string.hpp"
+#include "util/error.hpp"
+#include "util/uri.hpp"
+
+namespace wsc::portal {
+
+namespace {
+
+/// Query used for hit slot `k`: stable member of the warmed hot set.
+std::string hot_query(const LoadConfig& config, int k) {
+  return "hot-" + std::to_string(config.seed) + "-" +
+         std::to_string(k % config.hot_set_size);
+}
+
+/// Query for miss slot `j` of client `c`: globally unique, never repeated.
+std::string miss_query(const LoadConfig& config, int c, int j) {
+  return "miss-" + std::to_string(config.seed) + "-" + std::to_string(c) +
+         "-" + std::to_string(j);
+}
+
+}  // namespace
+
+LoadReport run_load(const LoadConfig& config, const PageFetcher& fetch) {
+  if (config.concurrency < 1 || config.requests_per_client < 1 ||
+      config.hot_set_size < 1 || config.hit_ratio < 0 || config.hit_ratio > 1)
+    throw Error("run_load: invalid configuration");
+
+  // Warm the hot set (every entry cached before measurement starts).
+  for (int k = 0; k < config.hot_set_size; ++k) fetch(0, hot_query(config, k));
+
+  std::mutex report_mu;
+  LoadReport report;
+
+  auto client_loop = [&](int c) {
+    util::Histogram local;
+    // Unmeasured per-client warmup: opens this client's connection and
+    // faults in its thread stacks so the measured window starts steady.
+    fetch(c, hot_query(config, c));
+    int hits_issued = 0;
+    for (int j = 0; j < config.requests_per_client; ++j) {
+      // Exact interleaving: issue a hit when the running hit count falls
+      // below the target prefix ratio.
+      bool hit = static_cast<double>(hits_issued) <
+                 config.hit_ratio * static_cast<double>(j + 1) - 1e-9;
+      std::string query;
+      if (hit) {
+        query = hot_query(config, c + hits_issued);  // offset per client
+        ++hits_issued;
+      } else {
+        query = miss_query(config, c, j);
+      }
+      auto t0 = std::chrono::steady_clock::now();
+      fetch(c, query);
+      auto t1 = std::chrono::steady_clock::now();
+      local.record(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0));
+    }
+    std::lock_guard lock(report_mu);
+    report.latency.merge(local);
+  };
+
+  auto start = std::chrono::steady_clock::now();
+  if (config.concurrency == 1) {
+    client_loop(0);
+  } else {
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(config.concurrency));
+    for (int c = 0; c < config.concurrency; ++c)
+      clients.emplace_back(client_loop, c);
+    for (auto& t : clients) t.join();
+  }
+  auto end = std::chrono::steady_clock::now();
+
+  report.duration_seconds =
+      std::chrono::duration<double>(end - start).count();
+  report.requests = static_cast<std::uint64_t>(config.concurrency) *
+                    static_cast<std::uint64_t>(config.requests_per_client);
+  report.throughput_rps =
+      report.duration_seconds > 0
+          ? static_cast<double>(report.requests) / report.duration_seconds
+          : 0.0;
+  return report;
+}
+
+LoadReport run_load_http(const std::string& portal_base_url,
+                         const LoadConfig& config) {
+  util::Uri base = util::Uri::parse(portal_base_url);
+
+  // One persistent connection per virtual client (thread), lazily opened.
+  std::vector<std::unique_ptr<http::HttpConnection>> connections(
+      static_cast<std::size_t>(config.concurrency));
+  std::mutex init_mu;
+
+  PageFetcher fetch = [&](int c, const std::string& query) {
+    auto& conn = connections[static_cast<std::size_t>(c)];
+    if (!conn) {
+      std::lock_guard lock(init_mu);
+      if (!conn)
+        conn = std::make_unique<http::HttpConnection>(base.host,
+                                                      base.effective_port());
+    }
+    http::Request request;
+    request.method = "GET";
+    request.target = "/portal?q=" + url_encode(query);
+    request.headers.set("Host", base.host);
+    http::Response response = conn->round_trip(request);
+    if (response.status != 200)
+      throw HttpError(response.status, "portal request failed");
+  };
+  return run_load(config, fetch);
+}
+
+}  // namespace wsc::portal

@@ -1,0 +1,50 @@
+// Closed-loop load simulator (the IBM Web Performance Tool stand-in).
+//
+// N virtual clients each issue their next request only after the previous
+// reply ("we stressed the portal site without concurrent access" = N=1;
+// Figure 4 uses N=25).  The cache-hit ratio is controlled *exactly*, not
+// stochastically: a warmed hot set of queries provides hits, fresh unique
+// queries provide misses, interleaved so every prefix of the run matches
+// the target ratio.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/histogram.hpp"
+
+namespace wsc::portal {
+
+struct LoadConfig {
+  int concurrency = 1;            // virtual clients
+  int requests_per_client = 200;  // measured requests each
+  double hit_ratio = 1.0;         // target fraction served from cache
+  int hot_set_size = 16;          // distinct warmed queries
+  std::uint64_t seed = 42;        // workload determinism
+};
+
+struct LoadReport {
+  double duration_seconds = 0;
+  std::uint64_t requests = 0;
+  double throughput_rps = 0;
+  util::Histogram latency;  // nanoseconds per request
+
+  double mean_response_ms() const { return latency.mean() / 1e6; }
+};
+
+/// A virtual client's way of fetching one portal page for a query.
+/// Implementations: direct render_page() call, or a real HTTP GET.
+using PageFetcher = std::function<void(int client_index, const std::string& query)>;
+
+/// Run the workload through an arbitrary fetcher.  The hot set is warmed
+/// (unmeasured) before the clock starts.
+LoadReport run_load(const LoadConfig& config, const PageFetcher& fetch);
+
+/// Convenience: drive a live portal over HTTP.  `portal_base_url` like
+/// "http://127.0.0.1:8080" — each virtual client keeps one persistent
+/// connection, as the paper's load tool did.
+LoadReport run_load_http(const std::string& portal_base_url,
+                         const LoadConfig& config);
+
+}  // namespace wsc::portal

@@ -1,0 +1,63 @@
+#include "portal/portal.hpp"
+
+#include "portal/query_string.hpp"
+#include "xml/escape.hpp"
+
+namespace wsc::portal {
+
+using services::google::GoogleClient;
+using services::google::GoogleSearchResult;
+
+PortalSite::PortalSite(PortalConfig config)
+    : cache_(config.response_cache ? std::move(config.response_cache)
+                                   : std::make_shared<cache::ResponseCache>()) {
+  google_ = std::make_unique<GoogleClient>(std::move(config.transport),
+                                           std::move(config.backend_endpoint),
+                                           cache_, std::move(config.options));
+}
+
+std::string PortalSite::render_page(const std::string& query) {
+  GoogleSearchResult result = google_->doGoogleSearch(query);
+
+  // HTML rendering is intentionally straightforward string building — the
+  // portal's own work should be cheap next to the middleware path, as in
+  // the paper's setup.
+  std::string html = "<html><head><title>Portal: " + xml::escape_text(query) +
+                     "</title></head><body>";
+  html += "<h1>Results for \"" + xml::escape_text(query) + "\"</h1>";
+  html += "<p>about " + std::to_string(result.estimatedTotalResultsCount) +
+          " results in " + std::to_string(result.searchTime) + "s</p><ol>";
+  for (const auto& e : result.resultElements) {
+    html += "<li><a href=\"" + e.URL + "\">" + xml::escape_text(e.title) +
+            "</a><br/>" + xml::escape_text(e.snippet) + "<br/><small>" +
+            e.hostName + " - " + e.cachedSize + "</small></li>";
+  }
+  html += "</ol><hr/><ul>";
+  for (const auto& dc : result.directoryCategories)
+    html += "<li>" + xml::escape_text(dc.fullViewableName) + "</li>";
+  html += "</ul></body></html>";
+  return html;
+}
+
+http::Handler PortalSite::handler() {
+  return [this](const http::Request& request) {
+    http::Response response;
+    ParsedTarget target = parse_target(request.target);
+    if (target.path != "/portal") {
+      response.status = 404;
+      response.body = "not found";
+      return response;
+    }
+    auto q = target.query.find("q");
+    if (q == target.query.end() || q->second.empty()) {
+      response.status = 400;
+      response.body = "missing q parameter";
+      return response;
+    }
+    response.headers.set("Content-Type", "text/html; charset=utf-8");
+    response.body = render_page(q->second);
+    return response;
+  };
+}
+
+}  // namespace wsc::portal

@@ -1,0 +1,50 @@
+// The portal site of Figure 2: a web front-end whose pages are rendered
+// from back-end Web-services calls made through the caching client
+// middleware.
+//
+//   load simulator --HTTP--> portal (this) --SOAP/HTTP--> dummy Google WS
+//
+// GET /portal?q=<query> renders an HTML results page around one
+// doGoogleSearch call; the response cache in the middleware is what the
+// Figure 3/4 experiments measure.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/client.hpp"
+#include "http/server.hpp"
+#include "services/google/stub.hpp"
+
+namespace wsc::portal {
+
+struct PortalConfig {
+  /// SOAP endpoint of the backend Google service.
+  std::string backend_endpoint;
+  std::shared_ptr<transport::Transport> transport;
+  /// Middleware configuration (key method, policy/representation).
+  cache::CachingServiceClient::Options options;
+  /// Shared response cache; created internally when null.
+  std::shared_ptr<cache::ResponseCache> response_cache;
+};
+
+class PortalSite {
+ public:
+  explicit PortalSite(PortalConfig config);
+
+  /// Render the results page for a query (one backend call through the
+  /// caching middleware + HTML generation).
+  std::string render_page(const std::string& query);
+
+  /// HTTP handler: GET /portal?q=... -> text/html.
+  http::Handler handler();
+
+  cache::ResponseCache& response_cache() noexcept { return *cache_; }
+  services::google::GoogleClient& google() noexcept { return *google_; }
+
+ private:
+  std::shared_ptr<cache::ResponseCache> cache_;
+  std::unique_ptr<services::google::GoogleClient> google_;
+};
+
+}  // namespace wsc::portal

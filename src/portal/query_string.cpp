@@ -1,0 +1,79 @@
+#include "portal/query_string.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace wsc::portal {
+
+namespace {
+
+bool unreserved(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '-' || c == '.' || c == '_' || c == '~';
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string url_encode(std::string_view s) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (unreserved(c)) {
+      out.push_back(c);
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[static_cast<unsigned char>(c) >> 4]);
+      out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%') {
+      if (i + 2 >= s.size())
+        throw ParseError("url_decode: truncated escape", i);
+      int hi = hex_digit(s[i + 1]);
+      int lo = hex_digit(s[i + 2]);
+      if (hi < 0 || lo < 0) throw ParseError("url_decode: bad escape", i);
+      out.push_back(static_cast<char>(hi << 4 | lo));
+      i += 2;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+ParsedTarget parse_target(std::string_view target) {
+  ParsedTarget out;
+  auto qpos = target.find('?');
+  out.path = std::string(target.substr(0, qpos));
+  if (qpos == std::string_view::npos) return out;
+  for (const std::string& pair : util::split(target.substr(qpos + 1), '&')) {
+    if (pair.empty()) continue;
+    auto eq = pair.find('=');
+    if (eq == std::string::npos) {
+      out.query[url_decode(pair)] = "";
+    } else {
+      out.query[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+    }
+  }
+  return out;
+}
+
+}  // namespace wsc::portal

@@ -1,0 +1,24 @@
+// URL query-string encoding/decoding for the portal's GET interface.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace wsc::portal {
+
+/// Percent-encode a query value (RFC 3986 unreserved set kept verbatim,
+/// space as %20).
+std::string url_encode(std::string_view s);
+
+/// Decode %XX and '+'; throws wsc::ParseError on malformed escapes.
+std::string url_decode(std::string_view s);
+
+/// Split "/path?a=1&b=2" into path and decoded key/value pairs.
+struct ParsedTarget {
+  std::string path;
+  std::map<std::string, std::string> query;
+};
+ParsedTarget parse_target(std::string_view target);
+
+}  // namespace wsc::portal

@@ -1,0 +1,4 @@
+#include "reflect/object.hpp"
+
+// Object is header-only; this TU anchors the module's debug info.
+namespace wsc::reflect {}

@@ -1,0 +1,154 @@
+// Global type registry + compile-time type binding (type_of<T>()).
+//
+// Plays the role of the JVM's loaded-class table: registration happens once
+// per process (WSDL-generated types register in their service headers'
+// ensure-functions), lookups are lock-free after a type is published, and
+// `const TypeInfo*` pointers never dangle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "reflect/type_info.hpp"
+#include "util/error.hpp"
+
+namespace wsc::reflect {
+
+class TypeRegistry {
+ public:
+  static TypeRegistry& instance();
+
+  /// Register a new type; throws ReflectionError if the name is taken.
+  /// Returns the stable registered instance.
+  const TypeInfo& add(std::unique_ptr<TypeInfo> info);
+
+  /// nullptr if not registered.
+  const TypeInfo* find(std::string_view name) const;
+
+  /// Throws ReflectionError if not registered.
+  const TypeInfo& get(std::string_view name) const;
+
+  std::vector<std::string> type_names() const;
+
+ private:
+  TypeRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<TypeInfo>> types_;
+};
+
+namespace detail {
+
+/// Per-C++-type slot pointing at its registered TypeInfo.
+template <typename T>
+const TypeInfo*& slot() {
+  static const TypeInfo* s = nullptr;
+  return s;
+}
+
+const TypeInfo& builtin_bool();
+const TypeInfo& builtin_i32();
+const TypeInfo& builtin_i64();
+const TypeInfo& builtin_double();
+const TypeInfo& builtin_string();
+const TypeInfo& builtin_bytes();
+
+/// Build (once) the TypeInfo for an array type.  `make_ops` fills the
+/// vector-typed function table.
+const TypeInfo& register_array_type(std::string name, const TypeInfo& element,
+                                    TypeInfo&& prototype);
+
+}  // namespace detail
+
+/// Primary template: user-registered struct types.  The struct's
+/// StructBuilder<T>::register_type() must have run first.
+template <typename T>
+struct TypeOf {
+  static const TypeInfo& get() {
+    const TypeInfo* s = detail::slot<T>();
+    if (!s)
+      throw ReflectionError(
+          "type_of<T>: C++ type not registered with StructBuilder");
+    return *s;
+  }
+};
+
+template <>
+struct TypeOf<bool> {
+  static const TypeInfo& get() { return detail::builtin_bool(); }
+};
+template <>
+struct TypeOf<std::int32_t> {
+  static const TypeInfo& get() { return detail::builtin_i32(); }
+};
+template <>
+struct TypeOf<std::int64_t> {
+  static const TypeInfo& get() { return detail::builtin_i64(); }
+};
+template <>
+struct TypeOf<double> {
+  static const TypeInfo& get() { return detail::builtin_double(); }
+};
+template <>
+struct TypeOf<std::string> {
+  static const TypeInfo& get() { return detail::builtin_string(); }
+};
+/// std::vector<uint8_t> is the Bytes kind (Java byte[]), not an Array.
+template <>
+struct TypeOf<std::vector<std::uint8_t>> {
+  static const TypeInfo& get() { return detail::builtin_bytes(); }
+};
+
+/// Arrays: std::vector<T> for any registered element T.  Created lazily and
+/// registered as "ArrayOf<element name>".
+template <typename T>
+struct TypeOf<std::vector<T>> {
+  static const TypeInfo& get() {
+    static const TypeInfo& info = create();
+    return info;
+  }
+
+ private:
+  static const TypeInfo& create() {
+    const TypeInfo& elem = TypeOf<T>::get();
+    TypeInfo proto;
+    proto.kind = Kind::Array;
+    proto.element = &elem;
+    proto.shallow_size = sizeof(std::vector<T>);
+    // vector<T>'s copy constructor is a deep copy for our value-semantic
+    // element types, so arrays are always cloneable.
+    proto.traits.cloneable = true;
+    proto.traits.serializable = true;  // effective check recurses into elem
+    proto.construct = [] {
+      return std::static_pointer_cast<void>(std::make_shared<std::vector<T>>());
+    };
+    proto.clone_fn = [](const void* p) {
+      return std::static_pointer_cast<void>(
+          std::make_shared<std::vector<T>>(*static_cast<const std::vector<T>*>(p)));
+    };
+    proto.array_size = [](const void* p) {
+      return static_cast<const std::vector<T>*>(p)->size();
+    };
+    proto.array_at = [](void* p, std::size_t i) -> void* {
+      return &(*static_cast<std::vector<T>*>(p))[i];
+    };
+    proto.array_resize = [](void* p, std::size_t n) {
+      static_cast<std::vector<T>*>(p)->resize(n);
+    };
+    return detail::register_array_type("ArrayOf" + elem.name, elem,
+                                       std::move(proto));
+  }
+};
+
+/// The registered TypeInfo for C++ type T.
+template <typename T>
+const TypeInfo& type_of() {
+  return TypeOf<T>::get();
+}
+
+}  // namespace wsc::reflect

@@ -1,0 +1,35 @@
+// Binary (de)serialization of registered objects — the stand-in for Java
+// serialization in Tables 2/3/6/7/8/9.
+//
+// Wire format: a header with the root type name (so a byte blob is
+// self-describing, like a Java serialized stream), then a recursive
+// kind-driven encoding.  Nested struct/array type identities come from the
+// registry metadata, not the stream.
+//
+// Serializing a type that is not deeply serializable throws
+// wsc::SerializationError — the detectable failure the middleware uses to
+// fall back automatically (paper 4.2.3A: "an exception is thrown by
+// run-time system. Therefore, the middleware can automatically detect
+// whether or not the application object is serializable").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "reflect/object.hpp"
+
+namespace wsc::reflect {
+
+/// Serialize an object tree.  Null objects produce a 1-byte null marker.
+std::vector<std::uint8_t> serialize(const Object& obj);
+
+/// Reconstruct a fresh object tree (deep copy semantics by construction).
+/// Throws ParseError on corrupt input, ReflectionError on unknown type.
+Object deserialize(std::span<const std::uint8_t> bytes);
+
+/// Cheap applicability probe used by policy code (avoids try/catch when
+/// configuring): true iff serialize() would succeed for this type.
+bool supports_serialization(const TypeInfo& type);
+
+}  // namespace wsc::reflect

@@ -1,0 +1,73 @@
+#include "reflect/type_info.hpp"
+
+#include <algorithm>
+
+namespace wsc::reflect {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Bool: return "bool";
+    case Kind::Int32: return "int32";
+    case Kind::Int64: return "int64";
+    case Kind::Double: return "double";
+    case Kind::String: return "string";
+    case Kind::Bytes: return "bytes";
+    case Kind::Struct: return "struct";
+    case Kind::Array: return "array";
+  }
+  return "?";
+}
+
+const FieldInfo* TypeInfo::field(std::string_view name) const {
+  for (const FieldInfo& f : fields) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+bool TypeInfo::is_deeply_serializable() const {
+  std::vector<const TypeInfo*> visiting;
+  return deeply_serializable_impl(visiting);
+}
+
+bool TypeInfo::deeply_serializable_impl(
+    std::vector<const TypeInfo*>& visiting) const {
+  if (is_primitive()) return true;
+  if (std::find(visiting.begin(), visiting.end(), this) != visiting.end())
+    return true;  // recursive type: judged by the fields already on the path
+  visiting.push_back(this);
+  bool ok;
+  if (is_array()) {
+    ok = element->deeply_serializable_impl(visiting);
+  } else {
+    ok = traits.serializable;
+    for (const FieldInfo& f : fields)
+      ok = ok && f.type->deeply_serializable_impl(visiting);
+  }
+  visiting.pop_back();
+  return ok;
+}
+
+bool TypeInfo::is_reflectable() const {
+  std::vector<const TypeInfo*> visiting;
+  return reflectable_impl(visiting);
+}
+
+bool TypeInfo::reflectable_impl(std::vector<const TypeInfo*>& visiting) const {
+  if (is_primitive()) return true;
+  if (std::find(visiting.begin(), visiting.end(), this) != visiting.end())
+    return true;
+  visiting.push_back(this);
+  bool ok;
+  if (is_array()) {
+    ok = element->reflectable_impl(visiting);
+  } else {
+    ok = traits.bean && static_cast<bool>(construct);
+    for (const FieldInfo& f : fields)
+      ok = ok && f.type->reflectable_impl(visiting);
+  }
+  visiting.pop_back();
+  return ok;
+}
+
+}  // namespace wsc::reflect

@@ -1,0 +1,61 @@
+// Dummy Amazon Web service: the full Table-1 operation list.
+//
+// The 20 search operations are pure functions of their query (cacheable);
+// the 6 shopping-cart operations read/mutate real server-side state —
+// caching them is observably wrong, which the policy tests exploit.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/policy.hpp"
+#include "services/amazon/types.hpp"
+#include "soap/dispatcher.hpp"
+#include "wsdl/description.hpp"
+
+namespace wsc::services::amazon {
+
+/// All 20 search operation names of Table 1.
+const std::vector<std::string>& search_operations();
+
+/// All 6 shopping-cart operation names of Table 1.
+const std::vector<std::string>& cart_operations();
+
+/// The service contract: every search op is (key, query, page) ->
+/// AmazonSearchResult; cart ops manage ShoppingCart state.
+std::shared_ptr<const wsdl::ServiceDescription> amazon_description();
+
+/// The paper's "possible cache policy configuration for Amazon Web
+/// services": 20 search operations cacheable, 6 cart operations not.
+cache::CachePolicy default_amazon_policy(
+    std::chrono::milliseconds ttl = std::chrono::minutes(10));
+
+class AmazonBackend {
+ public:
+  AmazonSearchResult search(const std::string& operation,
+                            const std::string& query, std::int32_t page) const;
+
+  ShoppingCart get_cart(const std::string& cart_id) const;
+  ShoppingCart clear_cart(const std::string& cart_id);
+  ShoppingCart add_items(const std::string& cart_id, const std::string& asin,
+                         std::int32_t quantity);
+  ShoppingCart remove_items(const std::string& cart_id, const std::string& asin);
+  ShoppingCart modify_items(const std::string& cart_id, const std::string& asin,
+                            std::int32_t quantity);
+  TransactionDetails transaction_details(const std::string& transaction_id) const;
+
+ private:
+  static double price_of(const std::string& asin);
+  static void recompute_subtotal(ShoppingCart& cart);
+
+  mutable std::mutex mu_;
+  std::map<std::string, ShoppingCart> carts_;
+};
+
+std::shared_ptr<soap::SoapService> make_amazon_service(
+    std::shared_ptr<AmazonBackend> backend);
+
+}  // namespace wsc::services::amazon

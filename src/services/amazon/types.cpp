@@ -1,0 +1,63 @@
+#include "services/amazon/types.hpp"
+
+#include "reflect/builder.hpp"
+
+namespace wsc::services::amazon {
+
+namespace {
+
+bool register_all() {
+  using reflect::StructBuilder;
+
+  StructBuilder<ProductSummary>("ProductSummary")
+      .field("asin", &ProductSummary::asin)
+      .field("title", &ProductSummary::title)
+      .field("manufacturer", &ProductSummary::manufacturer)
+      .field("listPrice", &ProductSummary::listPrice)
+      .field("salesRank", &ProductSummary::salesRank)
+      .serializable()
+      .cloneable()
+      .register_type();
+
+  StructBuilder<AmazonSearchResult>("AmazonSearchResult")
+      .field("totalResults", &AmazonSearchResult::totalResults)
+      .field("products", &AmazonSearchResult::products)
+      .serializable()
+      .cloneable()
+      .register_type();
+
+  StructBuilder<CartItem>("CartItem")
+      .field("asin", &CartItem::asin)
+      .field("quantity", &CartItem::quantity)
+      .field("unitPrice", &CartItem::unitPrice)
+      .serializable()
+      .cloneable()
+      .register_type();
+
+  StructBuilder<ShoppingCart>("ShoppingCart")
+      .field("cartId", &ShoppingCart::cartId)
+      .field("items", &ShoppingCart::items)
+      .field("subtotal", &ShoppingCart::subtotal)
+      .serializable()
+      .cloneable()
+      .register_type();
+
+  StructBuilder<TransactionDetails>("TransactionDetails")
+      .field("transactionId", &TransactionDetails::transactionId)
+      .field("status", &TransactionDetails::status)
+      .field("total", &TransactionDetails::total)
+      .serializable()
+      .cloneable()
+      .register_type();
+
+  return true;
+}
+
+}  // namespace
+
+void ensure_amazon_types() {
+  static const bool done = register_all();
+  (void)done;
+}
+
+}  // namespace wsc::services::amazon

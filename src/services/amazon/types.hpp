@@ -1,0 +1,59 @@
+// Amazon Web services (2004) data types, WSDL-compiler style.
+//
+// Used by the Table-1 cache-policy demonstration: search results flow
+// through the cache, shopping-cart state must not.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reflect/type_info.hpp"
+
+namespace wsc::services::amazon {
+
+struct ProductSummary {
+  std::string asin;
+  std::string title;
+  std::string manufacturer;
+  double listPrice = 0.0;
+  std::int32_t salesRank = 0;
+
+  bool operator==(const ProductSummary&) const = default;
+};
+
+struct AmazonSearchResult {
+  std::int32_t totalResults = 0;
+  std::vector<ProductSummary> products;
+
+  bool operator==(const AmazonSearchResult&) const = default;
+};
+
+struct CartItem {
+  std::string asin;
+  std::int32_t quantity = 0;
+  double unitPrice = 0.0;
+
+  bool operator==(const CartItem&) const = default;
+};
+
+struct ShoppingCart {
+  std::string cartId;
+  std::vector<CartItem> items;
+  double subtotal = 0.0;
+
+  bool operator==(const ShoppingCart&) const = default;
+};
+
+struct TransactionDetails {
+  std::string transactionId;
+  std::string status;
+  double total = 0.0;
+
+  bool operator==(const TransactionDetails&) const = default;
+};
+
+/// Register all Amazon types (idempotent, thread-safe).
+void ensure_amazon_types();
+
+}  // namespace wsc::services::amazon

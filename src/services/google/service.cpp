@@ -1,0 +1,161 @@
+#include "services/google/service.hpp"
+
+#include "reflect/object.hpp"
+#include "util/hash.hpp"
+#include "util/random.hpp"
+#include "util/strings.hpp"
+
+namespace wsc::services::google {
+
+using reflect::Object;
+using reflect::type_of;
+
+std::shared_ptr<const wsdl::ServiceDescription> google_description() {
+  static const std::shared_ptr<const wsdl::ServiceDescription> desc = [] {
+    ensure_google_types();
+    auto d = std::make_shared<wsdl::ServiceDescription>("GoogleSearchService",
+                                                        "urn:GoogleSearch");
+    const auto& str = type_of<std::string>();
+    const auto& i32 = type_of<std::int32_t>();
+    const auto& boolean = type_of<bool>();
+
+    wsdl::OperationInfo spell;
+    spell.name = "doSpellingSuggestion";
+    spell.params = {{"key", &str}, {"phrase", &str}};
+    spell.result_type = &str;
+    d->add_operation(std::move(spell));
+
+    wsdl::OperationInfo page;
+    page.name = "doGetCachedPage";
+    page.params = {{"key", &str}, {"url", &str}};
+    page.result_type = &type_of<std::vector<std::uint8_t>>();
+    d->add_operation(std::move(page));
+
+    wsdl::OperationInfo search;
+    search.name = "doGoogleSearch";
+    // String x6, int x2, boolean x2 — Table 5's request shape.
+    search.params = {{"key", &str},        {"q", &str},
+                     {"start", &i32},      {"maxResults", &i32},
+                     {"filter", &boolean}, {"restrict", &str},
+                     {"safeSearch", &boolean}, {"lr", &str},
+                     {"ie", &str},         {"oe", &str}};
+    search.result_type = &type_of<GoogleSearchResult>();
+    d->add_operation(std::move(search));
+    return d;
+  }();
+  return desc;
+}
+
+std::string GoogleBackend::spelling_suggestion(const std::string& phrase) const {
+  // Deterministic "correction": title-case words and normalize whitespace;
+  // version changes flip the suggestion so staleness is observable.
+  std::string out;
+  out.reserve(phrase.size());
+  bool word_start = true;
+  for (char c : phrase) {
+    if (c == ' ' || c == '\t') {
+      if (!out.empty() && out.back() != ' ') out.push_back(' ');
+      word_start = true;
+    } else {
+      out.push_back(word_start && c >= 'a' && c <= 'z'
+                        ? static_cast<char>(c - 'a' + 'A')
+                        : c);
+      word_start = false;
+    }
+  }
+  std::uint64_t v = version();
+  if (v != 0) out += " (rev " + std::to_string(v) + ")";
+  return out;
+}
+
+std::vector<std::uint8_t> GoogleBackend::cached_page(const std::string& url) const {
+  util::Rng rng(util::fnv1a(url) ^ version());
+  std::string html = "<html><head><title>" + url + "</title></head><body>";
+  while (html.size() < config_.cached_page_bytes) {
+    html += "<p>" + rng.next_sentence(12) + "</p>";
+  }
+  html.resize(config_.cached_page_bytes);
+  return std::vector<std::uint8_t>(html.begin(), html.end());
+}
+
+GoogleSearchResult GoogleBackend::search(const std::string& q,
+                                         std::int32_t start,
+                                         std::int32_t max_results) const {
+  util::Rng rng(util::fnv1a(q) ^ version());
+  GoogleSearchResult r;
+  r.documentFiltering = rng.next_bool();
+  r.searchComments = "";
+  r.estimatedTotalResultsCount =
+      static_cast<std::int32_t>(1000 + rng.next_below(2'000'000));
+  r.estimateIsExact = false;
+  r.searchQuery = q;
+  r.startIndex = start + 1;
+  r.searchTips = "";
+  r.searchTime = 0.01 + rng.next_double() * 0.4;
+
+  std::int32_t n = std::min(max_results, config_.results_per_page);
+  if (n < 0) n = 0;
+  r.resultElements.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    ResultElement e;
+    std::string host = "www." + rng.next_word(4, 10) + ".com";
+    e.title = rng.next_sentence(3);
+    e.summary = rng.next_sentence(4);
+    e.snippet = rng.next_sentence(7) + " <b>" + q + "</b> " + rng.next_sentence(4);
+    e.URL = "http://" + host + "/" + rng.next_word(3, 8) + "/" +
+            rng.next_word(3, 8) + ".html";
+    e.cachedSize = std::to_string(1 + rng.next_below(90)) + "k";
+    e.relatedInformationPresent = rng.next_bool(0.8);
+    e.hostName = host;
+    e.directoryCategory.fullViewableName =
+        "Top/" + rng.next_word(4, 9) + "/" + rng.next_word(4, 9);
+    e.directoryCategory.specialEncoding = "";
+    e.directoryTitle = rng.next_bool(0.3) ? rng.next_sentence(3) : "";
+    e.indexInSeries = start + i + 1;
+    r.resultElements.push_back(std::move(e));
+  }
+  r.endIndex = start + n;
+
+  for (int i = 0; i < 2; ++i) {
+    DirectoryCategory dc;
+    dc.fullViewableName = "Top/" + rng.next_word(4, 9) + "/" + rng.next_word(4, 9);
+    dc.specialEncoding = "";
+    r.directoryCategories.push_back(std::move(dc));
+  }
+  return r;
+}
+
+namespace {
+
+const std::string& param_str(const std::vector<soap::Parameter>& params,
+                             std::size_t i) {
+  return params.at(i).value.as<std::string>();
+}
+
+std::int32_t param_i32(const std::vector<soap::Parameter>& params,
+                       std::size_t i) {
+  return params.at(i).value.as<std::int32_t>();
+}
+
+}  // namespace
+
+std::shared_ptr<soap::SoapService> make_google_service(
+    std::shared_ptr<GoogleBackend> backend) {
+  auto service = std::make_shared<soap::SoapService>(*google_description());
+  service->bind("doSpellingSuggestion",
+                [backend](const std::vector<soap::Parameter>& p) {
+                  return Object::make(backend->spelling_suggestion(param_str(p, 1)));
+                });
+  service->bind("doGetCachedPage",
+                [backend](const std::vector<soap::Parameter>& p) {
+                  return Object::make(backend->cached_page(param_str(p, 1)));
+                });
+  service->bind("doGoogleSearch",
+                [backend](const std::vector<soap::Parameter>& p) {
+                  return Object::make(backend->search(
+                      param_str(p, 1), param_i32(p, 2), param_i32(p, 3)));
+                });
+  return service;
+}
+
+}  // namespace wsc::services::google

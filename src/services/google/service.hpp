@@ -1,0 +1,64 @@
+// The dummy Google Web service (paper §5.2: "We developed dummy Google Web
+// services for the test") and its WSDL contract.
+//
+// Three operations with the Table-5 signatures:
+//   doSpellingSuggestion(key, phrase)            -> string   (small, simple)
+//   doGetCachedPage(key, url)                    -> byte[]   (large, simple)
+//   doGoogleSearch(key, q, start, maxResults,
+//                  filter, restrict, safeSearch,
+//                  lr, ie, oe)                   -> GoogleSearchResult
+//                                                             (large, complex)
+//
+// Responses are deterministic functions of the request (the cache tests
+// depend on that) but sized to match the paper's Table 9 messages: a
+// GoogleSearch response of ~5.0 KB and a CachedPage response of ~5.3 KB.
+// A bumpable `version` makes responses observably change for the
+// TTL-consistency ablation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "services/google/types.hpp"
+#include "soap/dispatcher.hpp"
+#include "wsdl/description.hpp"
+
+namespace wsc::services::google {
+
+/// The service contract (shared because cache entries reference it).
+std::shared_ptr<const wsdl::ServiceDescription> google_description();
+
+class GoogleBackend {
+ public:
+  struct Config {
+    /// Result elements per search page (Google returned 10).
+    std::int32_t results_per_page = 10;
+    /// Approximate decoded size of a cached page in bytes; the Base64 form
+    /// in the response XML is 4/3 of this.
+    std::size_t cached_page_bytes = 3600;
+  };
+
+  GoogleBackend() : GoogleBackend(Config{}) {}
+  explicit GoogleBackend(Config config) : config_(config) {}
+
+  std::string spelling_suggestion(const std::string& phrase) const;
+  std::vector<std::uint8_t> cached_page(const std::string& url) const;
+  GoogleSearchResult search(const std::string& q, std::int32_t start,
+                            std::int32_t max_results) const;
+
+  /// Simulated source-data update: responses for every query change when
+  /// the version changes (cache consistency ablation, §3.2).
+  void set_version(std::uint64_t v) { version_.store(v); }
+  std::uint64_t version() const { return version_.load(); }
+
+ private:
+  Config config_;
+  std::atomic<std::uint64_t> version_{0};
+};
+
+/// Build the SOAP service bound to a backend instance.
+std::shared_ptr<soap::SoapService> make_google_service(
+    std::shared_ptr<GoogleBackend> backend);
+
+}  // namespace wsc::services::google

@@ -1,0 +1,54 @@
+// Typed client stub for the Google service — what the Axis WSDL compiler
+// would generate for the application programmer, layered on the caching
+// middleware.  The application sees plain typed calls; every caching
+// decision lives in the middleware underneath (paper §3.2: "meta-functions
+// like caching should be separated from the application logic").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/client.hpp"
+#include "services/google/service.hpp"
+#include "services/google/types.hpp"
+
+namespace wsc::services::google {
+
+/// All-Google-operations-cacheable policy with the paper's example TTL
+/// ("it is reasonable that one hour is short enough").
+cache::CachePolicy default_google_policy(
+    cache::Representation representation = cache::Representation::Auto,
+    std::chrono::milliseconds ttl = std::chrono::hours(1));
+
+class GoogleClient {
+ public:
+  GoogleClient(std::shared_ptr<transport::Transport> transport,
+               std::string endpoint_url,
+               std::shared_ptr<cache::ResponseCache> response_cache,
+               cache::CachingServiceClient::Options options);
+
+  /// License key is the first parameter of every 2004 Google operation.
+  void set_key(std::string key) { key_ = std::move(key); }
+
+  std::string doSpellingSuggestion(const std::string& phrase);
+  std::vector<std::uint8_t> doGetCachedPage(const std::string& url);
+  GoogleSearchResult doGoogleSearch(const std::string& q,
+                                    std::int32_t start = 0,
+                                    std::int32_t max_results = 10,
+                                    bool filter = false,
+                                    const std::string& restrict = "",
+                                    bool safe_search = false,
+                                    const std::string& lr = "",
+                                    const std::string& ie = "latin1",
+                                    const std::string& oe = "latin1");
+
+  cache::CachingServiceClient& middleware() noexcept { return client_; }
+
+ private:
+  std::string key_ = "demo-license-key-0000000000";
+  cache::CachingServiceClient client_;
+};
+
+}  // namespace wsc::services::google

@@ -1,0 +1,61 @@
+#include "services/google/types.hpp"
+
+#include <mutex>
+
+#include "reflect/builder.hpp"
+
+namespace wsc::services::google {
+
+namespace {
+
+const reflect::TypeInfo& register_all() {
+  using reflect::StructBuilder;
+
+  StructBuilder<DirectoryCategory>("DirectoryCategory")
+      .field("fullViewableName", &DirectoryCategory::fullViewableName)
+      .field("specialEncoding", &DirectoryCategory::specialEncoding)
+      .serializable()
+      .cloneable()
+      .register_type();
+
+  StructBuilder<ResultElement>("ResultElement")
+      .field("summary", &ResultElement::summary)
+      .field("URL", &ResultElement::URL)
+      .field("snippet", &ResultElement::snippet)
+      .field("title", &ResultElement::title)
+      .field("cachedSize", &ResultElement::cachedSize)
+      .field("relatedInformationPresent", &ResultElement::relatedInformationPresent)
+      .field("hostName", &ResultElement::hostName)
+      .field("directoryCategory", &ResultElement::directoryCategory)
+      .field("directoryTitle", &ResultElement::directoryTitle)
+      .field("indexInSeries", &ResultElement::indexInSeries)
+      .serializable()
+      .cloneable()
+      .register_type();
+
+  return StructBuilder<GoogleSearchResult>("GoogleSearchResult")
+      .field("documentFiltering", &GoogleSearchResult::documentFiltering)
+      .field("searchComments", &GoogleSearchResult::searchComments)
+      .field("estimatedTotalResultsCount",
+             &GoogleSearchResult::estimatedTotalResultsCount)
+      .field("estimateIsExact", &GoogleSearchResult::estimateIsExact)
+      .field("resultElements", &GoogleSearchResult::resultElements)
+      .field("searchQuery", &GoogleSearchResult::searchQuery)
+      .field("startIndex", &GoogleSearchResult::startIndex)
+      .field("endIndex", &GoogleSearchResult::endIndex)
+      .field("searchTips", &GoogleSearchResult::searchTips)
+      .field("directoryCategories", &GoogleSearchResult::directoryCategories)
+      .field("searchTime", &GoogleSearchResult::searchTime)
+      .serializable()
+      .cloneable()
+      .register_type();
+}
+
+}  // namespace
+
+const reflect::TypeInfo& ensure_google_types() {
+  static const reflect::TypeInfo& info = register_all();
+  return info;
+}
+
+}  // namespace wsc::services::google

@@ -1,0 +1,65 @@
+// The Google Web APIs (beta, 2004) data types, as the Axis WSDL compiler
+// would have generated them (paper §5.1 and Table 5).
+//
+// Shapes follow the paper exactly:
+//   GoogleSearchResult - 11 fields: 9 simple (String/int/double/boolean),
+//     one array of ResultElement, one array of DirectoryCategory
+//   ResultElement      - 10 fields: 9 simple + one DirectoryCategory
+//   DirectoryCategory  - 2 String fields
+//
+// All three register as serializable, cloneable bean types ("the generated
+// classes are serializable and bean-type... it should be easy for the WSDL
+// compiler to add a proper deep clone method").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reflect/type_info.hpp"
+
+namespace wsc::services::google {
+
+struct DirectoryCategory {
+  std::string fullViewableName;
+  std::string specialEncoding;
+
+  bool operator==(const DirectoryCategory&) const = default;
+};
+
+struct ResultElement {
+  std::string summary;
+  std::string URL;
+  std::string snippet;
+  std::string title;
+  std::string cachedSize;
+  bool relatedInformationPresent = false;
+  std::string hostName;
+  DirectoryCategory directoryCategory;
+  std::string directoryTitle;
+  std::int32_t indexInSeries = 0;
+
+  bool operator==(const ResultElement&) const = default;
+};
+
+struct GoogleSearchResult {
+  bool documentFiltering = false;
+  std::string searchComments;
+  std::int32_t estimatedTotalResultsCount = 0;
+  bool estimateIsExact = false;
+  std::vector<ResultElement> resultElements;
+  std::string searchQuery;
+  std::int32_t startIndex = 0;
+  std::int32_t endIndex = 0;
+  std::string searchTips;
+  std::vector<DirectoryCategory> directoryCategories;
+  double searchTime = 0.0;
+
+  bool operator==(const GoogleSearchResult&) const = default;
+};
+
+/// Register the three types (idempotent, thread-safe).  Returns the
+/// GoogleSearchResult TypeInfo for convenience.
+const reflect::TypeInfo& ensure_google_types();
+
+}  // namespace wsc::services::google

@@ -1,0 +1,86 @@
+#include "services/news/service.hpp"
+
+#include "reflect/builder.hpp"
+#include "reflect/object.hpp"
+#include "util/hash.hpp"
+#include "util/random.hpp"
+
+namespace wsc::services::news {
+
+using reflect::Object;
+using reflect::type_of;
+
+void ensure_news_types() {
+  static const bool done = [] {
+    reflect::StructBuilder<Headline>("Headline")
+        .field("title", &Headline::title)
+        .field("source", &Headline::source)
+        .field("url", &Headline::url)
+        .field("ageMinutes", &Headline::ageMinutes)
+        .serializable()
+        .cloneable()
+        .register_type();
+    reflect::StructBuilder<NewsFeed>("NewsFeed")
+        .field("topic", &NewsFeed::topic)
+        .field("headlines", &NewsFeed::headlines)
+        .serializable()
+        .cloneable()
+        .register_type();
+    return true;
+  }();
+  (void)done;
+}
+
+std::shared_ptr<const wsdl::ServiceDescription> news_description() {
+  static const std::shared_ptr<const wsdl::ServiceDescription> desc = [] {
+    ensure_news_types();
+    auto d =
+        std::make_shared<wsdl::ServiceDescription>("NewsService", "urn:News");
+    wsdl::OperationInfo op;
+    op.name = "TopHeadlines";
+    op.params = {{"topic", &type_of<std::string>()},
+                 {"count", &type_of<std::int32_t>()}};
+    op.result_type = &type_of<NewsFeed>();
+    d->add_operation(std::move(op));
+    return d;
+  }();
+  return desc;
+}
+
+cache::CachePolicy default_news_policy(std::chrono::milliseconds ttl) {
+  cache::CachePolicy policy;
+  policy.cacheable("TopHeadlines", ttl);
+  return policy;
+}
+
+NewsFeed NewsBackend::top_headlines(const std::string& topic,
+                                    std::int32_t count) const {
+  util::Rng rng(util::fnv1a(topic) ^ edition());
+  NewsFeed feed;
+  feed.topic = topic;
+  if (count < 0) count = 0;
+  if (count > 50) count = 50;
+  feed.headlines.reserve(static_cast<std::size_t>(count));
+  for (std::int32_t i = 0; i < count; ++i) {
+    Headline h;
+    h.title = rng.next_sentence(6) + " — " + topic;
+    h.source = rng.next_word(4, 10) + " wire";
+    h.url = "http://news." + rng.next_word(4, 8) + ".com/" +
+            rng.next_word(6, 12);
+    h.ageMinutes = static_cast<std::int32_t>(rng.next_below(600));
+    feed.headlines.push_back(std::move(h));
+  }
+  return feed;
+}
+
+std::shared_ptr<soap::SoapService> make_news_service(
+    std::shared_ptr<NewsBackend> backend) {
+  auto service = std::make_shared<soap::SoapService>(*news_description());
+  service->bind("TopHeadlines", [backend](const std::vector<soap::Parameter>& p) {
+    return Object::make(backend->top_headlines(
+        p.at(0).value.as<std::string>(), p.at(1).value.as<std::int32_t>()));
+  });
+  return service;
+}
+
+}  // namespace wsc::services::news

@@ -1,0 +1,61 @@
+// Dummy news Web service — the third backend of the paper's intro portal
+// ("stock quote services, search services, and news services").
+//
+// Headlines change slowly; default_news_policy() uses a minutes-scale TTL
+// between the quote service's seconds and Google's hour, illustrating
+// per-service TTL configuration by the client administrator (§3.2).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/policy.hpp"
+#include "soap/dispatcher.hpp"
+#include "wsdl/description.hpp"
+
+namespace wsc::services::news {
+
+struct Headline {
+  std::string title;
+  std::string source;
+  std::string url;
+  std::int32_t ageMinutes = 0;
+
+  bool operator==(const Headline&) const = default;
+};
+
+struct NewsFeed {
+  std::string topic;
+  std::vector<Headline> headlines;
+
+  bool operator==(const NewsFeed&) const = default;
+};
+
+/// Register the news types (idempotent).
+void ensure_news_types();
+
+/// Contract: TopHeadlines(topic, count) -> NewsFeed.
+std::shared_ptr<const wsdl::ServiceDescription> news_description();
+
+/// Cacheable with a minutes-scale TTL (default 5 min).
+cache::CachePolicy default_news_policy(
+    std::chrono::milliseconds ttl = std::chrono::minutes(5));
+
+class NewsBackend {
+ public:
+  NewsFeed top_headlines(const std::string& topic, std::int32_t count) const;
+
+  /// Publish a new edition: feeds change.
+  void publish() { edition_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t edition() const { return edition_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> edition_{0};
+};
+
+std::shared_ptr<soap::SoapService> make_news_service(
+    std::shared_ptr<NewsBackend> backend);
+
+}  // namespace wsc::services::news

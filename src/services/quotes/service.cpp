@@ -1,0 +1,104 @@
+#include "services/quotes/service.hpp"
+
+#include <cmath>
+
+#include "reflect/builder.hpp"
+#include "reflect/object.hpp"
+#include "util/hash.hpp"
+#include "util/strings.hpp"
+
+namespace wsc::services::quotes {
+
+using reflect::Object;
+using reflect::type_of;
+
+void ensure_quote_types() {
+  static const bool done = [] {
+    reflect::StructBuilder<Quote>("Quote")
+        .field("symbol", &Quote::symbol)
+        .field("last", &Quote::last)
+        .field("change", &Quote::change)
+        .field("volume", &Quote::volume)
+        .field("quoteAgeSeconds", &Quote::quoteAgeSeconds)
+        .serializable()
+        .cloneable()
+        .register_type();
+    reflect::StructBuilder<QuoteBatch>("QuoteBatch")
+        .field("quotes", &QuoteBatch::quotes)
+        .serializable()
+        .cloneable()
+        .register_type();
+    return true;
+  }();
+  (void)done;
+}
+
+std::shared_ptr<const wsdl::ServiceDescription> quotes_description() {
+  static const std::shared_ptr<const wsdl::ServiceDescription> desc = [] {
+    ensure_quote_types();
+    auto d = std::make_shared<wsdl::ServiceDescription>("StockQuoteService",
+                                                        "urn:StockQuote");
+    const auto& str = type_of<std::string>();
+
+    wsdl::OperationInfo one;
+    one.name = "GetQuote";
+    one.params = {{"symbol", &str}};
+    one.result_type = &type_of<Quote>();
+    d->add_operation(std::move(one));
+
+    wsdl::OperationInfo many;
+    many.name = "GetQuotes";
+    many.params = {{"symbols", &str}};
+    many.result_type = &type_of<QuoteBatch>();
+    d->add_operation(std::move(many));
+    return d;
+  }();
+  return desc;
+}
+
+cache::CachePolicy default_quotes_policy(std::chrono::milliseconds ttl) {
+  cache::CachePolicy policy;
+  policy.cacheable("GetQuote", ttl);
+  policy.cacheable("GetQuotes", ttl);
+  return policy;
+}
+
+Quote QuoteBackend::quote(const std::string& symbol) const {
+  // A deterministic random walk: base price from the symbol, drift from
+  // the tick counter.
+  std::uint64_t base = util::fnv1a(symbol);
+  std::uint64_t t = ticks();
+  double price = 10.0 + static_cast<double>(base % 49000) / 100.0;
+  double drift = std::sin(static_cast<double>((base >> 8) + t) * 0.7) *
+                 price * 0.01;
+  Quote q;
+  q.symbol = symbol;
+  q.last = price + drift;
+  q.change = drift;
+  q.volume = static_cast<std::int64_t>(1000 + (base ^ t * 0x9E37) % 5'000'000);
+  q.quoteAgeSeconds = static_cast<std::int32_t>(t % 60);
+  return q;
+}
+
+QuoteBatch QuoteBackend::quotes(const std::string& symbols_csv) const {
+  QuoteBatch batch;
+  for (const std::string& raw : util::split(symbols_csv, ',')) {
+    std::string symbol(util::trim(raw));
+    if (!symbol.empty()) batch.quotes.push_back(quote(symbol));
+  }
+  return batch;
+}
+
+std::shared_ptr<soap::SoapService> make_quotes_service(
+    std::shared_ptr<QuoteBackend> backend) {
+  auto service = std::make_shared<soap::SoapService>(*quotes_description());
+  service->bind("GetQuote", [backend](const std::vector<soap::Parameter>& p) {
+    return Object::make(backend->quote(p.at(0).value.as<std::string>()));
+  });
+  service->bind("GetQuotes", [backend](const std::vector<soap::Parameter>& p) {
+    return Object::make(backend->quotes(p.at(0).value.as<std::string>()));
+  });
+  return service;
+}
+
+}  // namespace wsc::services::quotes

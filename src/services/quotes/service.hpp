@@ -1,0 +1,65 @@
+// Dummy stock-quote Web service — the first backend the paper's intro
+// names for the portal scenario ("several backend services, such as stock
+// quote services, search services, and news services").
+//
+// Quotes are the textbook case for SHORT TTLs (§3.2: "the TTL should be
+// short enough to avoid consistency problems, which is dependent on the
+// service's semantics"): prices move, so default_quotes_policy() uses
+// seconds where Google search used an hour.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/policy.hpp"
+#include "reflect/type_info.hpp"
+#include "soap/dispatcher.hpp"
+#include "wsdl/description.hpp"
+
+namespace wsc::services::quotes {
+
+struct Quote {
+  std::string symbol;
+  double last = 0.0;
+  double change = 0.0;
+  std::int64_t volume = 0;
+  std::int32_t quoteAgeSeconds = 0;
+
+  bool operator==(const Quote&) const = default;
+};
+
+struct QuoteBatch {
+  std::vector<Quote> quotes;
+
+  bool operator==(const QuoteBatch&) const = default;
+};
+
+/// Register the quote types (idempotent).
+void ensure_quote_types();
+
+/// Contract: GetQuote(symbol) -> Quote; GetQuotes(symbols csv) -> QuoteBatch.
+std::shared_ptr<const wsdl::ServiceDescription> quotes_description();
+
+/// Both operations cacheable with a short TTL (default 5 s).
+cache::CachePolicy default_quotes_policy(
+    std::chrono::milliseconds ttl = std::chrono::seconds(5));
+
+class QuoteBackend {
+ public:
+  Quote quote(const std::string& symbol) const;
+  QuoteBatch quotes(const std::string& symbols_csv) const;
+
+  /// Advance simulated market time: prices drift deterministically.
+  void tick() { tick_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t ticks() const { return tick_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> tick_{0};
+};
+
+std::shared_ptr<soap::SoapService> make_quotes_service(
+    std::shared_ptr<QuoteBackend> backend);
+
+}  // namespace wsc::services::quotes

@@ -1,0 +1,83 @@
+#include "soap/dispatcher.hpp"
+
+#include "soap/deserializer.hpp"
+#include "soap/serializer.hpp"
+#include "util/error.hpp"
+#include "xml/sax_parser.hpp"
+
+namespace wsc::soap {
+
+namespace {
+
+/// Thrown to abort the SAX parse as soon as the operation name is known.
+struct FoundOperation {
+  std::string name;
+};
+
+class PeekHandler final : public xml::ContentHandler {
+ public:
+  void start_element(const xml::QName& name, const xml::Attributes&) override {
+    ++depth_;
+    if (depth_ == 1 &&
+        (name.uri != kEnvelopeNs || name.local != "Envelope")) {
+      throw FoundOperation{""};  // not SOAP at all
+    }
+    if (depth_ == 3 && in_body_) throw FoundOperation{name.local};
+    if (depth_ == 2) in_body_ = name.uri == kEnvelopeNs && name.local == "Body";
+  }
+  void end_element(const xml::QName&) override { --depth_; }
+
+ private:
+  int depth_ = 0;
+  bool in_body_ = false;
+};
+
+}  // namespace
+
+std::string peek_operation(std::string_view request_xml) {
+  PeekHandler handler;
+  try {
+    xml::SaxParser{}.parse(request_xml, handler);
+  } catch (const FoundOperation& found) {
+    return found.name;
+  } catch (const Error&) {
+    return "";
+  }
+  return "";  // well-formed but no Body child
+}
+
+void SoapService::bind(const std::string& operation, OpHandler handler) {
+  description_.require_operation(operation);  // throws if unknown
+  handlers_[operation] = std::move(handler);
+}
+
+SoapService::HandleResult SoapService::handle(std::string_view request_xml) const {
+  RpcRequest request;
+  try {
+    request = read_request(request_xml, description_);
+  } catch (const Error& e) {
+    return {serialize_fault("Client", e.what()), "", true};
+  }
+
+  auto it = handlers_.find(request.operation);
+  if (it == handlers_.end()) {
+    return {serialize_fault("Server",
+                            "operation '" + request.operation + "' not bound"),
+            request.operation, true};
+  }
+
+  const wsdl::OperationInfo& op = description_.require_operation(request.operation);
+  try {
+    reflect::Object result = it->second(request.params);
+    std::string xml =
+        multiref_
+            ? serialize_response_multiref(op, description_.target_namespace(),
+                                          result)
+            : serialize_response(op, description_.target_namespace(), result);
+    return {std::move(xml), request.operation, false};
+  } catch (const std::exception& e) {
+    return {serialize_fault("Server", e.what()), request.operation, true};
+  }
+}
+
+}  // namespace wsc::soap

@@ -1,0 +1,62 @@
+// Server-side SOAP dispatch: request XML in, response/fault XML out.
+//
+// This is the Axis server engine equivalent hosting the dummy Google and
+// Amazon services.  Operation handlers receive decoded parameter objects
+// and return the result object; all XML handling stays in the middleware,
+// as in Figure 1.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "soap/message.hpp"
+#include "wsdl/description.hpp"
+
+namespace wsc::soap {
+
+class SoapService {
+ public:
+  using OpHandler =
+      std::function<reflect::Object(const std::vector<Parameter>& params)>;
+
+  explicit SoapService(wsdl::ServiceDescription description)
+      : description_(std::move(description)) {}
+
+  const wsdl::ServiceDescription& description() const noexcept {
+    return description_;
+  }
+
+  /// Attach the implementation of one WSDL operation.  Throws wsc::Error if
+  /// the operation is not in the contract.
+  void bind(const std::string& operation, OpHandler handler);
+
+  struct HandleResult {
+    std::string xml;        // response or fault envelope
+    std::string operation;  // decoded operation name ("" if undecodable)
+    bool fault = false;
+  };
+
+  /// Decode, dispatch, encode.  Never throws: malformed requests, unknown
+  /// operations and handler exceptions all become SOAP faults, matching
+  /// server-engine behaviour.
+  HandleResult handle(std::string_view request_xml) const;
+
+  /// Emit responses in Axis 1.1 multiRef style (default: inline values).
+  void set_multiref_responses(bool multiref) { multiref_ = multiref; }
+  bool multiref_responses() const noexcept { return multiref_; }
+
+ private:
+  wsdl::ServiceDescription description_;
+  std::map<std::string, OpHandler> handlers_;
+  bool multiref_ = false;
+};
+
+/// Cheaply extract the operation name (first Body child's local name)
+/// without decoding parameters — used by transports to answer conditional
+/// requests (If-Modified-Since) before full dispatch.  Returns "" when the
+/// document is not a SOAP request.
+std::string peek_operation(std::string_view request_xml);
+
+}  // namespace wsc::soap

@@ -1,0 +1,4 @@
+#include "soap/message.hpp"
+
+// Message types are header-only; this TU anchors the module.
+namespace wsc::soap {}

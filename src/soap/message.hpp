@@ -1,0 +1,61 @@
+// SOAP 1.1 message model: RPC requests/responses and faults.
+//
+// Figure 1 of the paper: the client application exchanges *application
+// objects* with the middleware; this header is the boundary type.  A request
+// is (endpoint, operation, named parameter objects); a response is one
+// result object.  Everything below this layer is XML.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "reflect/object.hpp"
+#include "util/error.hpp"
+
+namespace wsc::soap {
+
+// SOAP 1.1 namespace constants.
+inline constexpr const char* kEnvelopeNs =
+    "http://schemas.xmlsoap.org/soap/envelope/";
+inline constexpr const char* kEncodingNs =
+    "http://schemas.xmlsoap.org/soap/encoding/";
+inline constexpr const char* kXsdNs = "http://www.w3.org/2001/XMLSchema";
+inline constexpr const char* kXsiNs =
+    "http://www.w3.org/2001/XMLSchema-instance";
+
+struct Parameter {
+  std::string name;
+  reflect::Object value;
+};
+
+/// A client-side RPC invocation before serialization.
+struct RpcRequest {
+  std::string endpoint;   // service URL, part of every cache key
+  std::string ns;         // target namespace of the service
+  std::string operation;  // operation (= body element) name
+  std::vector<Parameter> params;
+};
+
+/// The deserialized result of an invocation.
+struct RpcResponse {
+  reflect::Object result;  // null for void operations
+};
+
+/// SOAP Fault, thrown by the client stub when the server responds with one.
+class SoapFault : public Error {
+ public:
+  SoapFault(std::string faultcode, std::string faultstring)
+      : Error("SOAP fault [" + faultcode + "]: " + faultstring),
+        faultcode_(std::move(faultcode)),
+        faultstring_(std::move(faultstring)) {}
+
+  const std::string& faultcode() const noexcept { return faultcode_; }
+  const std::string& faultstring() const noexcept { return faultstring_; }
+
+ private:
+  std::string faultcode_;
+  std::string faultstring_;
+};
+
+}  // namespace wsc::soap

@@ -1,0 +1,43 @@
+// Object -> XML: the serializer half of the Figure-1 pipeline.
+//
+// Emits SOAP 1.1 rpc/encoded messages in the style of Apache Axis 1.1
+// (xsi:type on every value, soapenc:arrayType on arrays) so message sizes
+// are realistic for the Table 8/9 reproductions.
+#pragma once
+
+#include <string>
+
+#include "reflect/object.hpp"
+#include "soap/message.hpp"
+#include "wsdl/description.hpp"
+#include "xml/writer.hpp"
+
+namespace wsc::soap {
+
+/// Serialize a request envelope.
+std::string serialize_request(const RpcRequest& request);
+
+/// Serialize a response envelope for `op`:
+///   <ns1:{op}Response><return ...>...</return></ns1:{op}Response>
+std::string serialize_response(const wsdl::OperationInfo& op,
+                               const std::string& service_ns,
+                               const reflect::Object& result);
+
+/// Serialize a response in Axis 1.1 multiRef style: non-primitive values
+/// become <return href="#id0"/> sites with independent
+/// <multiRef id="id0">...</multiRef> elements in the Body.  The on-wire
+/// form real Google Web APIs responses used; our decoder accepts both.
+std::string serialize_response_multiref(const wsdl::OperationInfo& op,
+                                        const std::string& service_ns,
+                                        const reflect::Object& result);
+
+/// Serialize a fault envelope.
+std::string serialize_fault(const std::string& faultcode,
+                            const std::string& faultstring);
+
+/// Encode one typed value as an element (used by both directions and by
+/// tests).  `elem_name` is written verbatim.
+void write_value(xml::Writer& w, const std::string& elem_name,
+                 const reflect::TypeInfo& type, const void* value);
+
+}  // namespace wsc::soap

@@ -1,0 +1,98 @@
+// SAX -> application object: the deserializer core of the Figure-1 pipeline.
+//
+// A ValueReader is fed the SAX events *inside* a value element and
+// materializes an instance of the expected (WSDL-declared) type.  It is
+// deliberately SAX-driven, not DOM-driven: the whole point of the paper's
+// second representation (4.2.2) is that a recorded event sequence replays
+// through this exact component, so cache hits skip only the parser, never a
+// different code path.
+//
+// SOAP-encoded messages (Axis rpc/encoded) may replace any value element
+// with an href="#id" indirection whose target is a multiRef element later
+// in the Body.  Since targets arrive after the referring site, hrefs are
+// collected as *pending references* (root-relative paths) and resolved
+// after the parse via resolve_pending().
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "reflect/object.hpp"
+#include "xml/sax.hpp"
+
+namespace wsc::soap {
+
+/// Fills a value slot from an out-of-band source, used for SOAP-encoded
+/// href="#id" references (Axis multiRef elements).  Implementations own
+/// the id -> recorded-subtree map and recurse through nested references.
+class RefResolver {
+ public:
+  virtual ~RefResolver() = default;
+  /// Materialize the object identified by `id` into `target` (of `type`).
+  /// Throws ParseError for unknown ids or reference cycles.
+  virtual void fill(const reflect::TypeInfo& type, void* target,
+                    std::string_view id) = 0;
+};
+
+class ValueReader {
+ public:
+  /// Start reading a value of `type`.  The caller has just seen the value's
+  /// opening element; subsequent events are routed here until done().
+  explicit ValueReader(const reflect::TypeInfo& type);
+
+  /// Inspect the attrs of the value's own opening element (it may carry an
+  /// href); call once right after construction, before any events.
+  void begin(const xml::Attributes& attrs);
+
+  void start_element(const xml::QName& name, const xml::Attributes& attrs);
+
+  /// Returns true when this end_element closed the value's root element.
+  bool end_element(const xml::QName& name);
+
+  void characters(std::string_view text);
+
+  bool done() const noexcept { return done_; }
+
+  /// Force-complete a reader that was fed a *children-only* event stream
+  /// (multiRef bodies): closes the root frame as if its end tag was seen.
+  void finish_root();
+
+  /// True if the value contains unresolved href references.
+  bool has_pending() const noexcept { return !pending_.empty(); }
+
+  /// Resolve all pending references (call once, after done()).  Paths are
+  /// root-relative, so this is safe even though arrays may have
+  /// reallocated during parsing.
+  void resolve_pending(RefResolver& resolver);
+
+  /// The finished object; valid once done() (and, when has_pending(),
+  /// after resolve_pending()).
+  reflect::Object take();
+
+ private:
+  struct Frame {
+    const reflect::TypeInfo* type;
+    void* target;
+    std::size_t step;         // index within parent (field # or array #)
+    std::string text;
+    std::string pending_ref;  // href id recorded at end_element
+  };
+
+  struct PendingRef {
+    const reflect::TypeInfo* type;
+    std::vector<std::size_t> path;  // root-relative steps
+    std::string id;
+  };
+
+  void finish_frame();
+  static std::string href_of(const xml::Attributes& attrs);
+
+  std::shared_ptr<void> root_storage_;
+  const reflect::TypeInfo* root_type_;
+  std::vector<Frame> frames_;
+  std::vector<PendingRef> pending_;
+  bool done_ = false;
+};
+
+}  // namespace wsc::soap

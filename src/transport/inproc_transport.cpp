@@ -1,0 +1,48 @@
+#include "transport/inproc_transport.hpp"
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace wsc::transport {
+
+void InProcessTransport::bind(const std::string& endpoint_url,
+                              std::shared_ptr<soap::SoapService> service,
+                              http::CacheDirectives advertised,
+                              LastModifiedProvider last_modified) {
+  util::Uri uri = util::Uri::parse(endpoint_url);
+  std::lock_guard lock(mu_);
+  bindings_[uri.to_string()] = {std::move(service), advertised,
+                                std::move(last_modified)};
+}
+
+WireResponse InProcessTransport::post(const util::Uri& endpoint,
+                                      const WireRequest& request) {
+  Binding binding;
+  {
+    std::lock_guard lock(mu_);
+    auto it = bindings_.find(endpoint.to_string());
+    if (it == bindings_.end())
+      throw TransportError("InProcessTransport: no service bound at " +
+                           endpoint.to_string());
+    binding = it->second;
+  }
+  if (latency_.count() > 0) std::this_thread::sleep_for(latency_);
+
+  WireResponse out;
+  out.directives = binding.advertised;
+  if (binding.last_modified) {
+    std::string op = soap::peek_operation(request.body);
+    out.last_modified = binding.last_modified(op);
+    if (request.if_modified_since && out.last_modified &&
+        *out.last_modified <= *request.if_modified_since) {
+      out.not_modified = true;  // 304: skip dispatch entirely
+      return out;
+    }
+  }
+  soap::SoapService::HandleResult result = binding.service->handle(request.body);
+  out.body = std::move(result.xml);
+  return out;
+}
+
+}  // namespace wsc::transport

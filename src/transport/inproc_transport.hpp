@@ -1,0 +1,58 @@
+// In-process transport: direct dispatch to bound SoapServices.
+//
+// Used where the paper wants the backend out of the measurement ("the
+// back-end services should not be a performance bottleneck", §5.2) and by
+// the micro-benchmarks, which measure pure cache-path processing.  A
+// configurable artificial latency stands in for network + remote-server
+// time when an experiment needs a realistic round-trip cost.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "http/cache_headers.hpp"
+#include "soap/dispatcher.hpp"
+#include "transport/transport.hpp"
+
+namespace wsc::transport {
+
+class InProcessTransport final : public Transport {
+ public:
+  /// Per-operation Last-Modified source for conditional requests.
+  using LastModifiedProvider =
+      std::function<std::optional<std::chrono::seconds>(const std::string& op)>;
+
+  /// Bind a service at an endpoint URI like "inproc://services/google".
+  /// Optional per-service Cache-Control advertisement is attached to every
+  /// response from that endpoint; an optional provider enables
+  /// If-Modified-Since / 304 answers.
+  void bind(const std::string& endpoint_url,
+            std::shared_ptr<soap::SoapService> service,
+            http::CacheDirectives advertised = {},
+            LastModifiedProvider last_modified = nullptr);
+
+  /// Artificial request latency applied to every post (default: none).
+  void set_latency(std::chrono::microseconds latency) { latency_ = latency; }
+
+  WireResponse post(const util::Uri& endpoint,
+                    const WireRequest& request) override;
+  using Transport::post;
+
+ private:
+  struct Binding {
+    std::shared_ptr<soap::SoapService> service;
+    http::CacheDirectives advertised;
+    LastModifiedProvider last_modified;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Binding> bindings_;
+  std::chrono::microseconds latency_{0};
+};
+
+}  // namespace wsc::transport

@@ -1,0 +1,73 @@
+#include "transport/soap_http.hpp"
+
+#include <utility>
+
+namespace wsc::transport {
+
+http::Handler make_soap_handler(
+    std::string path, std::shared_ptr<soap::SoapService> service,
+    std::map<std::string, http::CacheDirectives> advertised,
+    LastModifiedProvider last_modified) {
+  return [path = std::move(path), service = std::move(service),
+          advertised = std::move(advertised),
+          last_modified =
+              std::move(last_modified)](const http::Request& request) {
+    http::Response response;
+    if (request.target != path) {
+      response.status = 404;
+      response.body = "no service at " + request.target;
+      return response;
+    }
+    if (request.method != "POST") {
+      response.status = 405;
+      response.body = "SOAP endpoints accept POST only";
+      return response;
+    }
+
+    // §3.2 HTTP consistency hook: a conditional request whose
+    // If-Modified-Since is at or after the operation's Last-Modified is
+    // answered 304 without touching the service.
+    std::optional<std::chrono::seconds> lm;
+    if (last_modified) {
+      std::string op = soap::peek_operation(request.body);
+      lm = last_modified(op);
+      if (lm) {
+        if (auto ims = request.headers.get("If-Modified-Since")) {
+          if (auto since = http::parse_http_date(*ims); since && *lm <= *since) {
+            response.status = 304;
+            response.headers.set("Last-Modified", http::format_http_date(*lm));
+            return response;
+          }
+        }
+      }
+    }
+
+    soap::SoapService::HandleResult result = service->handle(request.body);
+    response.status = result.fault ? 500 : 200;
+    response.headers.set("Content-Type", "text/xml; charset=utf-8");
+    if (!result.fault) {
+      auto it = advertised.find(result.operation);
+      if (it != advertised.end())
+        response.headers.set("Cache-Control",
+                             http::format_cache_control(it->second));
+      if (lm)
+        response.headers.set("Last-Modified", http::format_http_date(*lm));
+    }
+    response.body = std::move(result.xml);
+    return response;
+  };
+}
+
+std::unique_ptr<http::HttpServer> serve_soap(
+    std::uint16_t port, const std::string& path,
+    std::shared_ptr<soap::SoapService> service,
+    std::map<std::string, http::CacheDirectives> advertised,
+    LastModifiedProvider last_modified) {
+  auto server = std::make_unique<http::HttpServer>(
+      port, make_soap_handler(path, std::move(service), std::move(advertised),
+                              std::move(last_modified)));
+  server->start();
+  return server;
+}
+
+}  // namespace wsc::transport

@@ -1,0 +1,41 @@
+// Glue: host a SoapService inside an HttpServer (the Tomcat+Axis server
+// side of the portal scenario).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "http/cache_headers.hpp"
+#include "http/server.hpp"
+#include "soap/dispatcher.hpp"
+
+namespace wsc::transport {
+
+/// Per-operation Last-Modified source enabling If-Modified-Since / 304.
+using LastModifiedProvider =
+    std::function<std::optional<std::chrono::seconds>(const std::string& op)>;
+
+/// Build an http::Handler that routes POSTs at `path` to `service`.
+/// `advertised` optionally maps operation name -> Cache-Control directives
+/// attached to that operation's responses (the server-driven consistency
+/// hook of §3.2); `last_modified` adds Last-Modified headers and answers
+/// conditional requests with 304 without dispatching.  Non-POST methods
+/// get 405; other paths 404.
+http::Handler make_soap_handler(
+    std::string path, std::shared_ptr<soap::SoapService> service,
+    std::map<std::string, http::CacheDirectives> advertised = {},
+    LastModifiedProvider last_modified = nullptr);
+
+/// Convenience: spin up an HttpServer serving one SOAP service; returns the
+/// started server (caller owns it) — endpoint is base_url() + path.
+std::unique_ptr<http::HttpServer> serve_soap(
+    std::uint16_t port, const std::string& path,
+    std::shared_ptr<soap::SoapService> service,
+    std::map<std::string, http::CacheDirectives> advertised = {},
+    LastModifiedProvider last_modified = nullptr);
+
+}  // namespace wsc::transport

@@ -1,0 +1,4 @@
+#include "transport/transport.hpp"
+
+// Interface-only TU.
+namespace wsc::transport {}

@@ -1,0 +1,65 @@
+// Transport abstraction under the client middleware.
+//
+// The cache sits *above* this interface (Figure 1): on a miss the client
+// stub serializes the request, posts the document here, and parses the
+// reply.  Two implementations:
+//   HttpTransport   - real HTTP/1.1 over loopback TCP (Tomcat scenario)
+//   InProcessTransport - direct dispatch with configurable simulated
+//                        latency (noise-free micro-benchmarks and tests)
+//
+// The interface also carries the §3.2 HTTP consistency hooks the paper
+// points at: responses may advertise Cache-Control and Last-Modified, and
+// a request may be conditional (If-Modified-Since), in which case the
+// server can answer 304 Not Modified with an empty body.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/cache_headers.hpp"
+#include "util/uri.hpp"
+
+namespace wsc::transport {
+
+/// Outgoing SOAP request plus transport-level conditional metadata.
+struct WireRequest {
+  std::string soap_action;
+  std::string body;
+  /// When set, sent as If-Modified-Since (timestamps are seconds on the
+  /// simulated epoch used throughout http::cache_headers).
+  std::optional<std::chrono::seconds> if_modified_since;
+};
+
+/// Response document plus the HTTP-level cache metadata.
+struct WireResponse {
+  std::string body;
+  http::CacheDirectives directives;
+  /// True when the server answered 304 Not Modified (body is empty).
+  bool not_modified = false;
+  /// Server-attached Last-Modified, if any.
+  std::optional<std::chrono::seconds> last_modified;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// POST a SOAP envelope to `endpoint`.
+  /// Throws wsc::TransportError on delivery failure and wsc::HttpError on
+  /// statuses other than 200/304/500 (500 carries fault envelopes through).
+  virtual WireResponse post(const util::Uri& endpoint,
+                            const WireRequest& request) = 0;
+
+  /// Convenience overload for unconditional posts.
+  WireResponse post(const util::Uri& endpoint, std::string_view soap_action,
+                    const std::string& body) {
+    WireRequest request;
+    request.soap_action = std::string(soap_action);
+    request.body = body;
+    return post(endpoint, request);
+  }
+};
+
+}  // namespace wsc::transport

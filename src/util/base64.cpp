@@ -1,0 +1,94 @@
+#include "util/base64.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace wsc::util {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<std::int8_t, 256> make_decode_table() {
+  std::array<std::int8_t, 256> t{};
+  for (auto& v : t) v = -1;
+  for (int i = 0; i < 64; ++i) t[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  return t;
+}
+
+constexpr auto kDecode = make_decode_table();
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+}  // namespace
+
+std::string base64_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16 |
+                      static_cast<std::uint32_t>(data[i + 1]) << 8 |
+                      static_cast<std::uint32_t>(data[i + 2]);
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back(kAlphabet[n & 63]);
+  }
+  std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16;
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back('=');
+    out.push_back('=');
+  } else if (rem == 2) {
+    std::uint32_t n = static_cast<std::uint32_t>(data[i]) << 16 |
+                      static_cast<std::uint32_t>(data[i + 1]) << 8;
+    out.push_back(kAlphabet[(n >> 18) & 63]);
+    out.push_back(kAlphabet[(n >> 12) & 63]);
+    out.push_back(kAlphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::string base64_encode(std::string_view data) {
+  return base64_encode(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+std::vector<std::uint8_t> base64_decode(std::string_view text) {
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+  std::uint32_t quantum = 0;
+  int bits = 0;
+  int pad = 0;
+  std::size_t pos = 0;
+  for (char c : text) {
+    ++pos;
+    if (is_space(c)) continue;
+    if (c == '=') {
+      ++pad;
+      if (pad > 2) throw ParseError("base64: too much padding", pos);
+      continue;
+    }
+    if (pad > 0) throw ParseError("base64: data after padding", pos);
+    std::int8_t v = kDecode[static_cast<unsigned char>(c)];
+    if (v < 0) throw ParseError("base64: invalid character", pos);
+    quantum = quantum << 6 | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>(quantum >> bits));
+    }
+  }
+  if (bits >= 6) throw ParseError("base64: truncated final quantum", pos);
+  return out;
+}
+
+}  // namespace wsc::util

@@ -1,0 +1,25 @@
+// Base64 codec (RFC 4648).
+//
+// The Google `doGetCachedPage` operation returns a web page as a byte array
+// that travels Base64-encoded inside the SOAP response, so the codec sits on
+// the hot path of the "large and simple" workload in Tables 7/9.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsc::util {
+
+/// Encode bytes as standard Base64 with padding.
+std::string base64_encode(std::span<const std::uint8_t> data);
+std::string base64_encode(std::string_view data);
+
+/// Decode Base64 text.  Whitespace is skipped (SOAP messages are often
+/// pretty-printed).  Throws wsc::ParseError on any other invalid character
+/// or a truncated final quantum.
+std::vector<std::uint8_t> base64_decode(std::string_view text);
+
+}  // namespace wsc::util

@@ -1,0 +1,10 @@
+#include "util/clock.hpp"
+
+namespace wsc::util {
+
+const SteadyClock& steady_clock() {
+  static const SteadyClock instance;
+  return instance;
+}
+
+}  // namespace wsc::util

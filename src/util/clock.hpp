@@ -1,0 +1,48 @@
+// Clock abstraction so TTL expiry is testable without sleeping.
+//
+// The cache core takes a `const Clock&`; production code passes the
+// process-wide SteadyClock, tests pass a ManualClock they advance by hand.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace wsc::util {
+
+using Duration = std::chrono::steady_clock::duration;
+using TimePoint = std::chrono::steady_clock::time_point;
+
+/// Monotonic time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint now() const = 0;
+};
+
+/// Real monotonic clock; a process-wide instance is available via
+/// `steady_clock()`.
+class SteadyClock final : public Clock {
+ public:
+  TimePoint now() const override { return std::chrono::steady_clock::now(); }
+};
+
+/// Deterministic clock for tests: starts at an arbitrary epoch and only
+/// moves when `advance()` is called.  Thread safe.
+class ManualClock final : public Clock {
+ public:
+  TimePoint now() const override {
+    return TimePoint(Duration(ns_.load(std::memory_order_acquire)));
+  }
+  void advance(Duration d) {
+    ns_.fetch_add(d.count(), std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<Duration::rep> ns_{1};  // nonzero so TimePoint{} compares older
+};
+
+/// Shared process-wide steady clock.
+const SteadyClock& steady_clock();
+
+}  // namespace wsc::util

@@ -1,0 +1,67 @@
+// Exception hierarchy shared by every wscache module.
+//
+// The paper's middleware relies on *detectable* failure of a representation
+// method (e.g. Java serialization throwing NotSerializableException) to fall
+// back to a more general one.  We mirror that: each subsystem throws a typed
+// subclass of `wsc::Error`, and the cache core catches `SerializationError`
+// (and friends) to implement the automatic-detection behaviour of section 6.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wsc {
+
+/// Root of all wscache exceptions.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed input while parsing (XML, HTTP, URI...).  Carries an
+/// approximate offset into the input for diagnostics.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& what, std::size_t offset = 0)
+      : Error(what + " (at offset " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
+};
+
+/// A reflection-driven operation was attempted on a type that does not
+/// support it (not serializable, not cloneable, no to_string, unknown
+/// field...).  Equivalent of Java's NotSerializableException &co.
+class SerializationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Reflection metadata problems: duplicate registration, unknown type,
+/// field type mismatch.
+class ReflectionError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Transport-level failure (connection refused, short read, timeout).
+class TransportError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// HTTP protocol violation or unexpected status.
+class HttpError : public Error {
+ public:
+  HttpError(int status, const std::string& what)
+      : Error("HTTP " + std::to_string(status) + ": " + what),
+        status_(status) {}
+  int status() const noexcept { return status_; }
+
+ private:
+  int status_;
+};
+
+}  // namespace wsc

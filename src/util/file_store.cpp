@@ -1,0 +1,78 @@
+#include "util/file_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/error.hpp"
+
+namespace wsc::util {
+
+namespace fs = std::filesystem;
+
+FileStore::FileStore(std::string directory) : dir_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) throw Error("FileStore: cannot create '" + dir_ + "': " + ec.message());
+}
+
+std::string FileStore::path_for(std::uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.blob",
+                static_cast<unsigned long long>(key));
+  return dir_ + "/" + name;
+}
+
+void FileStore::put(std::uint64_t key, std::span<const std::uint8_t> data) {
+  std::string final_path = path_for(key);
+  std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("FileStore: cannot write '" + tmp_path + "'");
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size()));
+    if (!out) throw Error("FileStore: short write to '" + tmp_path + "'");
+  }
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) throw Error("FileStore: rename failed: " + ec.message());
+}
+
+void FileStore::put(std::uint64_t key, std::string_view data) {
+  put(key, std::span<const std::uint8_t>(
+               reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+std::optional<std::vector<std::uint8_t>> FileStore::get(std::uint64_t key) const {
+  std::ifstream in(path_for(key), std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  std::streamsize size = in.tellg();
+  in.seekg(0);
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in) throw Error("FileStore: short read from '" + path_for(key) + "'");
+  return data;
+}
+
+bool FileStore::remove(std::uint64_t key) {
+  std::error_code ec;
+  return fs::remove(path_for(key), ec) && !ec;
+}
+
+std::size_t FileStore::count() const {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".blob") ++n;
+  }
+  return n;
+}
+
+void FileStore::clear() {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".blob") fs::remove(entry.path(), ec);
+  }
+}
+
+}  // namespace wsc::util

@@ -1,0 +1,47 @@
+// Flat-file blob store: the "hard disk" alternative the paper mentions and
+// rejects for its evaluation ("we could store the XML messages and Java
+// serialized forms on the hard disk, but disk access is slower than memory
+// access").  bench_ablation_diskstore quantifies that sentence.
+//
+// One file per entry, named by the 64-bit key hash; writes go through a
+// temp file + rename so readers never observe torn blobs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wsc::util {
+
+class FileStore {
+ public:
+  /// Root directory is created if absent.  Throws wsc::Error on failure.
+  explicit FileStore(std::string directory);
+
+  /// Write (or replace) a blob.
+  void put(std::uint64_t key, std::span<const std::uint8_t> data);
+  void put(std::uint64_t key, std::string_view data);
+
+  /// Read a blob; nullopt if absent.
+  std::optional<std::vector<std::uint8_t>> get(std::uint64_t key) const;
+
+  /// Remove a blob; true if it existed.
+  bool remove(std::uint64_t key);
+
+  /// Number of stored blobs (directory scan).
+  std::size_t count() const;
+
+  /// Remove every blob.
+  void clear();
+
+  const std::string& directory() const noexcept { return dir_; }
+
+ private:
+  std::string path_for(std::uint64_t key) const;
+
+  std::string dir_;
+};
+
+}  // namespace wsc::util

@@ -1,0 +1,5 @@
+#include "util/hash.hpp"
+
+// Header-only; this TU exists so the module has a linkable object and the
+// constexpr definitions get one home for debug symbols.
+namespace wsc::util {}

@@ -1,0 +1,42 @@
+// FNV-1a hashing and combination helpers.
+//
+// Cache keys (core/key) are hashed into the cache table with FNV-1a 64;
+// deterministic across runs so benchmark workloads are reproducible.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace wsc::util {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a(std::string_view data,
+                              std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::span<const std::uint8_t> data,
+                           std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// boost-style hash combiner for composing field hashes.
+constexpr std::uint64_t hash_combine(std::uint64_t h, std::uint64_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4));
+}
+
+}  // namespace wsc::util

@@ -1,0 +1,56 @@
+// Latency histogram for the portal load simulator (Figures 3 and 4).
+//
+// Log-bucketed (HdrHistogram-style, base-2 with linear sub-buckets) so the
+// load generator records microsecond latencies with bounded memory and we
+// can report mean / p50 / p95 / p99 / max per run.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsc::util {
+
+class Histogram {
+ public:
+  /// `sub_bucket_bits` linear sub-buckets per power-of-two bucket; 5 gives
+  /// ~3% relative error, plenty for throughput plots.
+  explicit Histogram(int sub_bucket_bits = 5);
+
+  void record(std::uint64_t value);
+  void record(std::chrono::nanoseconds d) {
+    record(static_cast<std::uint64_t>(d.count() < 0 ? 0 : d.count()));
+  }
+
+  /// Merge another histogram (combining per-thread recorders).
+  void merge(const Histogram& other);
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  std::uint64_t max() const noexcept { return max_; }
+  double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at quantile q in [0,1]; returns an upper bound of the containing
+  /// bucket (standard HdrHistogram semantics).
+  std::uint64_t percentile(double q) const;
+
+  /// One-line human-readable summary with values scaled by `unit_divisor`
+  /// (e.g. 1e6 for ns -> ms) and suffixed with `unit`.
+  std::string summary(double unit_divisor, const std::string& unit) const;
+
+ private:
+  std::size_t bucket_index(std::uint64_t value) const;
+  std::uint64_t bucket_upper_bound(std::size_t index) const;
+
+  int sub_bits_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = UINT64_MAX;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace wsc::util

@@ -1,0 +1,40 @@
+// Leveled stderr logger.
+//
+// Off by default so benchmarks stay quiet; examples flip it to Info to show
+// the cache hits/misses as they happen.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace wsc::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global threshold; messages below it are discarded before formatting.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe write of one formatted line to stderr.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+/// Variadic convenience: wsc::util::log(LogLevel::Info, "hit ratio=", r);
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(level, os.str());
+}
+
+}  // namespace wsc::util

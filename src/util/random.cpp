@@ -1,0 +1,71 @@
+#include "util/random.hpp"
+
+namespace wsc::util {
+
+std::uint64_t Rng::next_u64() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  // Modulo bias is irrelevant for workload synthesis.  bound == 0 is a
+  // caller bug but must not SIGFPE; treat it as "no choice".
+  if (bound == 0) return 0;
+  return next_u64() % bound;
+}
+
+std::int64_t Rng::next_range(std::int64_t lo, std::int64_t hi) {
+  return lo + static_cast<std::int64_t>(
+                  next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p_true) { return next_double() < p_true; }
+
+std::string Rng::next_word(std::size_t min_len, std::size_t max_len) {
+  static constexpr char kVowels[] = "aeiou";
+  static constexpr char kConsonants[] = "bcdfghjklmnpqrstvwxyz";
+  std::size_t len = min_len + next_below(max_len - min_len + 1);
+  std::string w;
+  w.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i % 2 == 0)
+      w.push_back(kConsonants[next_below(sizeof(kConsonants) - 1)]);
+    else
+      w.push_back(kVowels[next_below(sizeof(kVowels) - 1)]);
+  }
+  return w;
+}
+
+std::string Rng::next_sentence(std::size_t words) {
+  std::string s;
+  for (std::size_t i = 0; i < words; ++i) {
+    if (i > 0) s.push_back(' ');
+    s += next_word(2, 9);
+  }
+  return s;
+}
+
+std::vector<std::uint8_t> Rng::next_bytes(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    std::uint64_t v = next_u64();
+    for (int b = 0; b < 8; ++b) out[i++] = static_cast<std::uint8_t>(v >> (8 * b));
+  }
+  if (i < n) {
+    std::uint64_t v = next_u64();
+    while (i < n) {
+      out[i++] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+}  // namespace wsc::util

@@ -1,0 +1,45 @@
+// Deterministic PRNG + text generators for workloads.
+//
+// The dummy Google service (src/services/google) fabricates search results,
+// page snippets and cached pages from the query string; everything is seeded
+// so the same query always produces the same response, which the cache tests
+// rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsc::util {
+
+/// SplitMix64: tiny, fast, good enough for workload synthesis, and
+/// deterministic across platforms (unlike std::mt19937 + distributions).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  double next_double();  // [0, 1)
+  bool next_bool(double p_true = 0.5);
+
+  /// Lowercase pseudo-word of the given length.
+  std::string next_word(std::size_t min_len, std::size_t max_len);
+
+  /// Space-separated pseudo-words.
+  std::string next_sentence(std::size_t words);
+
+  /// Random bytes block.
+  std::vector<std::uint8_t> next_bytes(std::size_t n);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace wsc::util

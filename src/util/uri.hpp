@@ -1,0 +1,32 @@
+// Minimal URI parser for service endpoint URLs.
+//
+// Cache keys embed the endpoint URL (section 4.1 of the paper: "generated
+// from the endpoint URL, operation name, and all parameter names and
+// values"), and the HTTP transport needs host/port/path to connect.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace wsc::util {
+
+struct Uri {
+  std::string scheme;  // "http", or "inproc" for the in-process transport
+  std::string host;
+  std::uint16_t port = 0;  // 0 = scheme default (http -> 80)
+  std::string path;        // always starts with '/'
+
+  /// Parse "scheme://host[:port][/path]".  Throws wsc::ParseError.
+  static Uri parse(std::string_view text);
+
+  /// Effective port after applying scheme defaults.
+  std::uint16_t effective_port() const;
+
+  /// Canonical string form.
+  std::string to_string() const;
+
+  bool operator==(const Uri&) const = default;
+};
+
+}  // namespace wsc::util

@@ -1,0 +1,42 @@
+#include "wsdl/description.hpp"
+
+#include "util/error.hpp"
+
+namespace wsc::wsdl {
+
+const ParamSpec* OperationInfo::param(std::string_view param_name) const {
+  for (const ParamSpec& p : params) {
+    if (p.name == param_name) return &p;
+  }
+  return nullptr;
+}
+
+OperationInfo& ServiceDescription::add_operation(OperationInfo op) {
+  if (operation(op.name))
+    throw Error("service '" + name_ + "': duplicate operation '" + op.name + "'");
+  for (const ParamSpec& p : op.params) {
+    if (!p.type)
+      throw Error("operation '" + op.name + "': parameter '" + p.name +
+                  "' has no type");
+  }
+  operations_.push_back(std::move(op));
+  return operations_.back();
+}
+
+const OperationInfo* ServiceDescription::operation(std::string_view op_name) const {
+  for (const OperationInfo& op : operations_) {
+    if (op.name == op_name) return &op;
+  }
+  return nullptr;
+}
+
+const OperationInfo& ServiceDescription::require_operation(
+    std::string_view op_name) const {
+  const OperationInfo* op = operation(op_name);
+  if (!op)
+    throw Error("service '" + name_ + "': unknown operation '" +
+                std::string(op_name) + "'");
+  return *op;
+}
+
+}  // namespace wsc::wsdl

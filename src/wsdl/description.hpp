@@ -1,0 +1,65 @@
+// In-memory service contract: what a WSDL document describes and what the
+// Axis WSDL compiler turns into stub metadata.
+//
+// The paper's middleware knows, per operation, the parameter names/types and
+// the result type (from WSDL); the SOAP serializer/deserializer and the
+// cache key generators are all driven from this.  We model the compiled
+// form directly; `wsdl_writer.hpp` can render it back to WSDL 1.1 XML.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "reflect/type_info.hpp"
+
+namespace wsc::wsdl {
+
+/// One named, typed message part.
+struct ParamSpec {
+  std::string name;
+  const reflect::TypeInfo* type = nullptr;
+};
+
+struct OperationInfo {
+  std::string name;                               // e.g. "doGoogleSearch"
+  std::vector<ParamSpec> params;                  // in order
+  std::string result_name = "return";             // response part name
+  const reflect::TypeInfo* result_type = nullptr; // nullptr => void
+
+  /// "<name>Response" per SOAP RPC convention.
+  std::string response_element() const { return name + "Response"; }
+
+  const ParamSpec* param(std::string_view param_name) const;
+};
+
+class ServiceDescription {
+ public:
+  ServiceDescription(std::string name, std::string target_namespace)
+      : name_(std::move(name)), target_namespace_(std::move(target_namespace)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& target_namespace() const noexcept {
+    return target_namespace_;
+  }
+
+  /// Add an operation; throws wsc::Error on duplicate names.
+  OperationInfo& add_operation(OperationInfo op);
+
+  /// nullptr if unknown.
+  const OperationInfo* operation(std::string_view op_name) const;
+
+  /// Throws wsc::Error if unknown.
+  const OperationInfo& require_operation(std::string_view op_name) const;
+
+  const std::vector<OperationInfo>& operations() const noexcept {
+    return operations_;
+  }
+
+ private:
+  std::string name_;
+  std::string target_namespace_;
+  std::vector<OperationInfo> operations_;
+};
+
+}  // namespace wsc::wsdl

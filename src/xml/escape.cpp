@@ -1,0 +1,103 @@
+#include "xml/escape.hpp"
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace wsc::xml {
+
+std::string escape_text(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_attribute(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\n': out += "&#10;"; break;
+      case '\t': out += "&#9;"; break;
+      case '\r': out += "&#13;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp <= 0x7F) {
+    out.push_back(static_cast<char>(cp));
+  } else if (cp <= 0x7FF) {
+    out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp <= 0xFFFF) {
+    out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp <= 0x10FFFF) {
+    out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    throw ParseError("code point out of Unicode range");
+  }
+}
+
+std::string unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size();) {
+    char c = s[i];
+    if (c != '&') {
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    auto end = s.find(';', i + 1);
+    if (end == std::string_view::npos)
+      throw ParseError("unterminated entity reference", i);
+    std::string_view name = s.substr(i + 1, end - i - 1);
+    if (name == "amp") out.push_back('&');
+    else if (name == "lt") out.push_back('<');
+    else if (name == "gt") out.push_back('>');
+    else if (name == "apos") out.push_back('\'');
+    else if (name == "quot") out.push_back('"');
+    else if (!name.empty() && name[0] == '#') {
+      std::uint32_t cp = 0;
+      bool hex = name.size() > 1 && (name[1] == 'x' || name[1] == 'X');
+      std::string_view digits = name.substr(hex ? 2 : 1);
+      if (digits.empty()) throw ParseError("empty character reference", i);
+      for (char d : digits) {
+        std::uint32_t v;
+        if (d >= '0' && d <= '9') v = static_cast<std::uint32_t>(d - '0');
+        else if (hex && d >= 'a' && d <= 'f') v = static_cast<std::uint32_t>(d - 'a' + 10);
+        else if (hex && d >= 'A' && d <= 'F') v = static_cast<std::uint32_t>(d - 'A' + 10);
+        else throw ParseError("bad digit in character reference", i);
+        cp = cp * (hex ? 16 : 10) + v;
+        if (cp > 0x10FFFF) throw ParseError("character reference out of range", i);
+      }
+      append_utf8(out, cp);
+    } else {
+      throw ParseError("unknown entity '&" + std::string(name) + ";'", i);
+    }
+    i = end + 1;
+  }
+  return out;
+}
+
+}  // namespace wsc::xml

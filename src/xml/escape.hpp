@@ -1,0 +1,24 @@
+// XML text/attribute escaping and entity expansion.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace wsc::xml {
+
+/// Escape character data: & < > (and keeps everything else verbatim).
+std::string escape_text(std::string_view s);
+
+/// Escape an attribute value for double-quoted attributes: & < > " plus
+/// newline/tab normalization-proof references.
+std::string escape_attribute(std::string_view s);
+
+/// Expand the five predefined entities (&amp; &lt; &gt; &apos; &quot;) and
+/// numeric character references (&#NN; &#xHH;, emitted as UTF-8).
+/// Throws wsc::ParseError on an unknown or malformed entity.
+std::string unescape(std::string_view s);
+
+/// Append a Unicode code point as UTF-8.
+void append_utf8(std::string& out, std::uint32_t cp);
+
+}  // namespace wsc::xml

@@ -1,0 +1,51 @@
+#include "xml/event_sequence.hpp"
+
+namespace wsc::xml {
+
+void EventSequence::deliver(ContentHandler& handler) const {
+  for (const Event& e : events_) {
+    switch (e.type) {
+      case EventType::StartDocument: handler.start_document(); break;
+      case EventType::EndDocument: handler.end_document(); break;
+      case EventType::StartElement: handler.start_element(e.name, e.attrs); break;
+      case EventType::EndElement: handler.end_element(e.name); break;
+      case EventType::Characters: handler.characters(e.text); break;
+    }
+  }
+}
+
+std::size_t EventSequence::memory_size() const {
+  std::size_t total = sizeof(EventSequence) + events_.capacity() * sizeof(Event);
+  auto qname_size = [](const QName& q) {
+    return q.uri.capacity() + q.local.capacity() + q.raw.capacity();
+  };
+  for (const Event& e : events_) {
+    total += qname_size(e.name) + e.text.capacity() +
+             e.attrs.capacity() * sizeof(Attribute);
+    for (const Attribute& a : e.attrs)
+      total += qname_size(a.name) + a.value.capacity();
+  }
+  return total;
+}
+
+void EventRecorder::start_document() {
+  seq_.push({EventType::StartDocument, {}, {}, {}});
+}
+
+void EventRecorder::end_document() {
+  seq_.push({EventType::EndDocument, {}, {}, {}});
+}
+
+void EventRecorder::start_element(const QName& name, const Attributes& attrs) {
+  seq_.push({EventType::StartElement, name, attrs, {}});
+}
+
+void EventRecorder::end_element(const QName& name) {
+  seq_.push({EventType::EndElement, name, {}, {}});
+}
+
+void EventRecorder::characters(std::string_view text) {
+  seq_.push({EventType::Characters, {}, {}, std::string(text)});
+}
+
+}  // namespace wsc::xml

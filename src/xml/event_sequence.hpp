@@ -1,0 +1,100 @@
+// Recorded SAX event sequences (paper section 4.2.2, Table 4).
+//
+// `EventRecorder` is a ContentHandler that captures the parse of a response
+// into an `EventSequence`; the cache stores the sequence, and on a hit
+// replays it into the deserializer — identical events, no tokenizer.  This
+// is the paper's second cache-value representation, applicable to any type.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "xml/sax.hpp"
+
+namespace wsc::xml {
+
+enum class EventType : std::uint8_t {
+  StartDocument,
+  EndDocument,
+  StartElement,
+  EndElement,
+  Characters,
+};
+
+/// One recorded event.  StartElement carries the name and attributes;
+/// EndElement carries the name; Characters carries text.
+struct Event {
+  EventType type;
+  QName name;        // StartElement / EndElement
+  Attributes attrs;  // StartElement
+  std::string text;  // Characters
+};
+
+class EventSequence final : public EventSource {
+ public:
+  void deliver(ContentHandler& handler) const override;
+
+  void push(Event e) { events_.push_back(std::move(e)); }
+  const std::vector<Event>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+
+  /// Approximate heap footprint in bytes, for Table 9-style accounting.
+  std::size_t memory_size() const;
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// ContentHandler that records everything it hears.
+class EventRecorder final : public ContentHandler {
+ public:
+  void start_document() override;
+  void end_document() override;
+  void start_element(const QName& name, const Attributes& attrs) override;
+  void end_element(const QName& name) override;
+  void characters(std::string_view text) override;
+
+  EventSequence take() { return std::move(seq_); }
+  const EventSequence& sequence() const noexcept { return seq_; }
+
+ private:
+  EventSequence seq_;
+};
+
+/// Fan a single event stream out to several handlers (e.g. deserialize AND
+/// record in one parse, the way the cache populates itself on a miss
+/// without reparsing).
+class TeeHandler final : public ContentHandler {
+ public:
+  TeeHandler(ContentHandler& first, ContentHandler& second)
+      : first_(first), second_(second) {}
+
+  void start_document() override {
+    first_.start_document();
+    second_.start_document();
+  }
+  void end_document() override {
+    first_.end_document();
+    second_.end_document();
+  }
+  void start_element(const QName& name, const Attributes& attrs) override {
+    first_.start_element(name, attrs);
+    second_.start_element(name, attrs);
+  }
+  void end_element(const QName& name) override {
+    first_.end_element(name);
+    second_.end_element(name);
+  }
+  void characters(std::string_view text) override {
+    first_.characters(text);
+    second_.characters(text);
+  }
+
+ private:
+  ContentHandler& first_;
+  ContentHandler& second_;
+};
+
+}  // namespace wsc::xml

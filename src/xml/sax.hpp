@@ -1,0 +1,63 @@
+// SAX interfaces: the contract between the parser, the recorded event
+// sequence, the DOM builder, and the SOAP deserializer.
+//
+// This mirrors the role of org.xml.sax in Apache Axis: the paper's key
+// observation (section 4.2.2) is that a *recorded SAX event sequence* can be
+// replayed into the same deserializer the live parser feeds, skipping the
+// expensive tokenization/wellformedness work.  Keeping one handler interface
+// is what makes the XML-message and SAX-events cache representations
+// interchangeable.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsc::xml {
+
+/// Expanded element name after namespace processing.
+struct QName {
+  std::string uri;    // namespace URI, empty if unbound
+  std::string local;  // local part
+  std::string raw;    // as written, e.g. "soapenv:Envelope"
+
+  bool operator==(const QName&) const = default;
+};
+
+/// One attribute after namespace processing.  xmlns declarations are
+/// consumed by the parser and not reported here (matching SAX2 defaults).
+struct Attribute {
+  QName name;
+  std::string value;  // entity-expanded
+
+  bool operator==(const Attribute&) const = default;
+};
+
+using Attributes = std::vector<Attribute>;
+
+/// Receiver of parse events.  Default implementations ignore everything so
+/// handlers override only what they need.
+class ContentHandler {
+ public:
+  virtual ~ContentHandler() = default;
+
+  virtual void start_document() {}
+  virtual void end_document() {}
+  virtual void start_element(const QName& name, const Attributes& attrs) {
+    (void)name;
+    (void)attrs;
+  }
+  virtual void end_element(const QName& name) { (void)name; }
+  /// Character data, entity-expanded.  May be delivered in multiple chunks.
+  virtual void characters(std::string_view text) { (void)text; }
+};
+
+/// Anything that can drive a ContentHandler: the live parser or a recorded
+/// event sequence.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  virtual void deliver(ContentHandler& handler) const = 0;
+};
+
+}  // namespace wsc::xml

@@ -1,0 +1,335 @@
+#include "xml/sax_parser.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "xml/escape.hpp"
+
+namespace wsc::xml {
+
+namespace {
+
+using wsc::ParseError;
+
+bool is_ws(char c) { return c == ' ' || c == '\t' || c == '\r' || c == '\n'; }
+
+bool is_name_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':' || static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+/// Prefix->URI binding with the element depth that introduced it.
+struct NsBinding {
+  std::string prefix;
+  std::string uri;
+  std::size_t depth;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view doc, ContentHandler& handler)
+      : doc_(doc), handler_(handler) {}
+
+  void run() {
+    handler_.start_document();
+    skip_prolog();
+    parse_document_element();
+    skip_misc();
+    if (!at_end()) fail("content after document element");
+    if (!open_elements_.empty()) fail("unclosed elements at end of document");
+    handler_.end_document();
+  }
+
+ private:
+  // --- cursor primitives -------------------------------------------------
+  bool at_end() const { return pos_ >= doc_.size(); }
+  char peek() const { return doc_[pos_]; }
+  char take() { return doc_[pos_++]; }
+  bool looking_at(std::string_view s) const {
+    return doc_.substr(pos_, s.size()) == s;
+  }
+  void expect(std::string_view s) {
+    if (!looking_at(s)) fail("expected '" + std::string(s) + "'");
+    pos_ += s.size();
+  }
+  void skip_ws() {
+    while (!at_end() && is_ws(peek())) ++pos_;
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("XML: " + msg, pos_);
+  }
+
+  std::string_view read_name() {
+    if (at_end() || !is_name_start(peek())) fail("expected name");
+    std::size_t start = pos_;
+    ++pos_;
+    while (!at_end() && is_name_char(peek())) ++pos_;
+    return doc_.substr(start, pos_ - start);
+  }
+
+  // --- prolog / misc ------------------------------------------------------
+  void skip_prolog() {
+    skip_ws();
+    if (looking_at("<?xml")) {
+      auto end = doc_.find("?>", pos_);
+      if (end == std::string_view::npos) fail("unterminated XML declaration");
+      pos_ = end + 2;
+    }
+    skip_misc();
+    if (looking_at("<!DOCTYPE")) {
+      // Skip to matching '>' (no internal subset support).
+      auto end = doc_.find('>', pos_);
+      if (end == std::string_view::npos) fail("unterminated DOCTYPE");
+      if (doc_.substr(pos_, end - pos_).find('[') != std::string_view::npos)
+        fail("DOCTYPE internal subset not supported");
+      pos_ = end + 1;
+      skip_misc();
+    }
+    if (at_end() || peek() != '<') fail("expected document element");
+  }
+
+  /// Comments, PIs and whitespace outside the document element.
+  void skip_misc() {
+    for (;;) {
+      skip_ws();
+      if (looking_at("<!--")) {
+        skip_comment();
+      } else if (looking_at("<?")) {
+        skip_pi();
+      } else {
+        return;
+      }
+    }
+  }
+
+  void skip_comment() {
+    expect("<!--");
+    auto end = doc_.find("--", pos_);
+    if (end == std::string_view::npos) fail("unterminated comment");
+    pos_ = end;
+    expect("-->");
+  }
+
+  void skip_pi() {
+    expect("<?");
+    auto end = doc_.find("?>", pos_);
+    if (end == std::string_view::npos) fail("unterminated processing instruction");
+    pos_ = end + 2;
+  }
+
+  // --- namespaces ----------------------------------------------------------
+  std::string_view lookup_ns(std::string_view prefix) const {
+    for (auto it = ns_stack_.rbegin(); it != ns_stack_.rend(); ++it) {
+      if (it->prefix == prefix) return it->uri;
+    }
+    if (prefix == "xml") return "http://www.w3.org/XML/1998/namespace";
+    return {};
+  }
+
+  QName resolve(std::string_view raw, bool is_attribute) {
+    QName q;
+    q.raw = std::string(raw);
+    auto colon = raw.find(':');
+    if (colon == std::string_view::npos) {
+      q.local = std::string(raw);
+      // Unprefixed attributes are in no namespace (XML NS spec).
+      if (!is_attribute) q.uri = std::string(lookup_ns(""));
+    } else {
+      std::string_view prefix = raw.substr(0, colon);
+      q.local = std::string(raw.substr(colon + 1));
+      if (q.local.empty() || q.local.find(':') != std::string::npos)
+        fail("malformed qualified name '" + std::string(raw) + "'");
+      std::string_view uri = lookup_ns(prefix);
+      if (uri.empty())
+        fail("unbound namespace prefix '" + std::string(prefix) + "'");
+      q.uri = std::string(uri);
+    }
+    return q;
+  }
+
+  void pop_ns(std::size_t depth) {
+    while (!ns_stack_.empty() && ns_stack_.back().depth >= depth)
+      ns_stack_.pop_back();
+  }
+
+  // --- element content ------------------------------------------------------
+  struct RawAttr {
+    std::string_view name;
+    std::string value;
+  };
+
+  /// Parse a start tag (cursor on '<').  Reports start_element (and
+  /// end_element for self-closing tags); otherwise pushes onto the open
+  /// stack.  Entirely iterative: document depth costs heap, not stack.
+  void parse_start_tag() {
+    expect("<");
+    std::string_view raw_name = read_name();
+    std::size_t depth = open_elements_.size() + 1;
+
+    std::vector<RawAttr> raw_attrs;
+    bool self_closing = false;
+    for (;;) {
+      bool had_ws = !at_end() && is_ws(peek());
+      skip_ws();
+      if (at_end()) fail("unterminated start tag");
+      if (peek() == '>') {
+        ++pos_;
+        break;
+      }
+      if (looking_at("/>")) {
+        pos_ += 2;
+        self_closing = true;
+        break;
+      }
+      if (!had_ws) fail("expected whitespace before attribute");
+      RawAttr attr;
+      attr.name = read_name();
+      skip_ws();
+      expect("=");
+      skip_ws();
+      attr.value = read_attr_value();
+      raw_attrs.push_back(std::move(attr));
+    }
+
+    // First pass: xmlns declarations establish bindings for this element.
+    for (const auto& a : raw_attrs) {
+      if (a.name == "xmlns") {
+        ns_stack_.push_back({"", a.value, depth});
+      } else if (a.name.substr(0, 6) == "xmlns:") {
+        std::string prefix(a.name.substr(6));
+        if (prefix.empty()) fail("empty namespace prefix declaration");
+        if (a.value.empty())
+          fail("cannot bind prefix '" + prefix + "' to empty URI");
+        ns_stack_.push_back({std::move(prefix), a.value, depth});
+      }
+    }
+
+    // Second pass: resolve element and non-xmlns attributes.
+    QName name = resolve(raw_name, /*is_attribute=*/false);
+    Attributes attrs;
+    for (auto& a : raw_attrs) {
+      if (a.name == "xmlns" || a.name.substr(0, 6) == "xmlns:") continue;
+      Attribute out;
+      out.name = resolve(a.name, /*is_attribute=*/true);
+      out.value = std::move(a.value);
+      for (const auto& prev : attrs) {
+        if (prev.name.local == out.name.local && prev.name.uri == out.name.uri)
+          fail("duplicate attribute '" + out.name.raw + "'");
+      }
+      attrs.push_back(std::move(out));
+    }
+
+    handler_.start_element(name, attrs);
+
+    if (self_closing) {
+      handler_.end_element(name);
+      pop_ns(depth);
+      return;
+    }
+    open_elements_.push_back(std::string(raw_name));
+    element_names_.push_back(std::move(name));
+  }
+
+  /// Parse an end tag (cursor on "</").  Pops the open stack.
+  void parse_end_tag() {
+    pos_ += 2;
+    std::string_view end_name = read_name();
+    if (end_name != open_elements_.back())
+      fail("mismatched end tag </" + std::string(end_name) + ">, expected </" +
+           open_elements_.back() + ">");
+    skip_ws();
+    expect(">");
+    std::size_t depth = open_elements_.size();
+    open_elements_.pop_back();
+    QName name = std::move(element_names_.back());
+    element_names_.pop_back();
+    handler_.end_element(name);
+    pop_ns(depth);
+  }
+
+  /// The document element and everything inside it, iteratively.
+  void parse_document_element() {
+    if (at_end() || peek() != '<') fail("expected document element");
+    parse_start_tag();
+    std::string text;
+    auto flush = [&] {
+      if (!text.empty()) {
+        handler_.characters(text);
+        text.clear();
+      }
+    };
+    while (!open_elements_.empty()) {
+      if (at_end()) fail("unterminated element <" + open_elements_.back() + ">");
+      char c = peek();
+      if (c == '<') {
+        if (looking_at("</")) {
+          flush();
+          parse_end_tag();
+          continue;
+        }
+        if (looking_at("<!--")) {
+          skip_comment();
+          continue;
+        }
+        if (looking_at("<![CDATA[")) {
+          pos_ += 9;
+          auto end = doc_.find("]]>", pos_);
+          if (end == std::string_view::npos) fail("unterminated CDATA section");
+          text.append(doc_.substr(pos_, end - pos_));
+          pos_ = end + 3;
+          continue;
+        }
+        if (looking_at("<?")) {
+          skip_pi();
+          continue;
+        }
+        flush();
+        parse_start_tag();
+        continue;
+      }
+      if (c == '&') {
+        // Delegate entity expansion to unescape() over the reference.
+        auto end = doc_.find(';', pos_);
+        if (end == std::string_view::npos) fail("unterminated entity reference");
+        text += unescape(doc_.substr(pos_, end - pos_ + 1));
+        pos_ = end + 1;
+        continue;
+      }
+      if (c == ']' && looking_at("]]>")) fail("']]>' not allowed in content");
+      text.push_back(take());
+    }
+  }
+
+  std::string read_attr_value() {
+    if (at_end() || (peek() != '"' && peek() != '\'')) fail("expected quoted attribute value");
+    char quote = take();
+    std::size_t start = pos_;
+    while (!at_end() && peek() != quote) {
+      if (peek() == '<') fail("'<' not allowed in attribute value");
+      ++pos_;
+    }
+    if (at_end()) fail("unterminated attribute value");
+    std::string value = unescape(doc_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  std::string_view doc_;
+  ContentHandler& handler_;
+  std::size_t pos_ = 0;
+  std::vector<NsBinding> ns_stack_;
+  std::vector<std::string> open_elements_;  // raw names, for end-tag matching
+  std::vector<QName> element_names_;        // resolved names, for end events
+};
+
+}  // namespace
+
+void SaxParser::parse(std::string_view document, ContentHandler& handler) {
+  Parser(document, handler).run();
+}
+
+}  // namespace wsc::xml

@@ -1,0 +1,36 @@
+// Namespace-aware SAX push parser.
+//
+// Stand-in for Apache Xerces in the paper's pipeline.  Non-validating,
+// UTF-8, supports: prolog, elements, attributes, namespaces (default +
+// prefixed, rebinding, undeclaration), character data with the predefined
+// entities and numeric character references, CDATA sections, comments,
+// processing instructions, and skips a <!DOCTYPE ...> declaration without an
+// internal subset.  Well-formedness violations raise wsc::ParseError.
+#pragma once
+
+#include <string_view>
+
+#include "xml/sax.hpp"
+
+namespace wsc::xml {
+
+class SaxParser {
+ public:
+  /// Parse a complete document, delivering events to `handler`.
+  void parse(std::string_view document, ContentHandler& handler);
+};
+
+/// EventSource adapter over raw XML text: deliver() == parse the text.
+class XmlTextSource final : public EventSource {
+ public:
+  explicit XmlTextSource(std::string text) : text_(std::move(text)) {}
+  void deliver(ContentHandler& handler) const override {
+    SaxParser{}.parse(text_, handler);
+  }
+  const std::string& text() const noexcept { return text_; }
+
+ private:
+  std::string text_;
+};
+
+}  // namespace wsc::xml

@@ -1,0 +1,174 @@
+// Table 2 key generation: correctness (equal requests -> equal keys,
+// different requests -> different keys) and limitations per method.
+#include "core/cache_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/reflect/test_types.hpp"
+#include "util/error.hpp"
+
+namespace wsc::cache {
+namespace {
+
+using reflect::Object;
+using reflect::testing::ensure_test_types;
+using reflect::testing::NoSerialize;
+using reflect::testing::Opaque;
+using reflect::testing::Point;
+
+soap::RpcRequest request(const std::string& op, std::string endpoint,
+                         std::vector<soap::Parameter> params) {
+  ensure_test_types();
+  soap::RpcRequest r;
+  r.endpoint = std::move(endpoint);
+  r.ns = "urn:Test";
+  r.operation = op;
+  r.params = std::move(params);
+  return r;
+}
+
+soap::RpcRequest search_like(const std::string& q) {
+  return request("doSearch", "http://svc/x",
+                 {{"key", Object::make(std::string("k"))},
+                  {"q", Object::make(q)},
+                  {"start", Object::make(std::int32_t{0})},
+                  {"safe", Object::make(false)}});
+}
+
+class AllKeyMethods : public ::testing::TestWithParam<KeyMethod> {
+ protected:
+  std::unique_ptr<KeyGenerator> gen() { return make_key_generator(GetParam()); }
+};
+
+TEST_P(AllKeyMethods, EqualRequestsProduceEqualKeys) {
+  CacheKey a = gen()->generate(search_like("caching"));
+  CacheKey b = gen()->generate(search_like("caching"));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST_P(AllKeyMethods, DifferentParameterValuesDiffer) {
+  EXPECT_NE(gen()->generate(search_like("caching")),
+            gen()->generate(search_like("Caching")));
+}
+
+TEST_P(AllKeyMethods, DifferentOperationsDiffer) {
+  auto params = [] {
+    return std::vector<soap::Parameter>{{"s", Object::make(std::string("x"))}};
+  };
+  EXPECT_NE(gen()->generate(request("opA", "http://svc/x", params())),
+            gen()->generate(request("opB", "http://svc/x", params())));
+}
+
+TEST_P(AllKeyMethods, DifferentEndpointsDiffer) {
+  auto params = [] {
+    return std::vector<soap::Parameter>{{"s", Object::make(std::string("x"))}};
+  };
+  EXPECT_NE(gen()->generate(request("op", "http://svc/A", params())),
+            gen()->generate(request("op", "http://svc/B", params())));
+}
+
+TEST_P(AllKeyMethods, ParameterOrderMatters) {
+  // RPC parameter positions are meaningful; swapped names/values differ.
+  auto ab = request("op", "http://svc/x",
+                    {{"a", Object::make(std::string("1"))},
+                     {"b", Object::make(std::string("2"))}});
+  auto ba = request("op", "http://svc/x",
+                    {{"b", Object::make(std::string("2"))},
+                     {"a", Object::make(std::string("1"))}});
+  EXPECT_NE(gen()->generate(ab), gen()->generate(ba));
+}
+
+TEST_P(AllKeyMethods, MethodReported) {
+  EXPECT_EQ(gen()->method(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, AllKeyMethods,
+                         ::testing::Values(KeyMethod::XmlMessage,
+                                           KeyMethod::Serialization,
+                                           KeyMethod::ToString),
+                         [](const ::testing::TestParamInfo<KeyMethod>& info) {
+                           switch (info.param) {
+                             case KeyMethod::XmlMessage: return "XmlMessage";
+                             case KeyMethod::Serialization: return "Serialization";
+                             case KeyMethod::ToString: return "ToString";
+                           }
+                           return "unknown";
+                         });
+
+// --- method-specific limitations (Table 2) ------------------------------------
+
+TEST(KeyLimitationsTest, SerializationRejectsNonSerializableParam) {
+  ensure_test_types();
+  auto r = request("op", "http://svc/x",
+                   {{"p", Object::make(NoSerialize{1})}});
+  EXPECT_THROW(SerializationKeyGenerator{}.generate(r), SerializationError);
+  // The universal XML method still works? No — Opaque has no fields, but
+  // NoSerialize is a bean: the XML method serializes it fine.
+  EXPECT_NO_THROW(XmlMessageKeyGenerator{}.generate(r));
+}
+
+TEST(KeyLimitationsTest, ToStringRejectsTypesWithoutToString) {
+  ensure_test_types();
+  auto r = request("op", "http://svc/x",
+                   {{"p", Object::make(std::vector<std::uint8_t>{1, 2})}});
+  EXPECT_THROW(ToStringKeyGenerator{}.generate(r), SerializationError);
+  EXPECT_NO_THROW(SerializationKeyGenerator{}.generate(r));
+}
+
+TEST(KeyLimitationsTest, ToStringHandlesBeansReflectively) {
+  ensure_test_types();
+  auto r = request("op", "http://svc/x",
+                   {{"p", Object::make(Point{1, 2, "L"})}});
+  CacheKey k = ToStringKeyGenerator{}.generate(r);
+  EXPECT_NE(k.material().find("test.Point{x=1,y=2,label=L}"), std::string::npos);
+}
+
+// --- Table 8 shape: key sizes --------------------------------------------------
+
+TEST(KeySizeTest, XmlLargestToStringSmallest) {
+  auto r = search_like("some query terms");
+  // Compare material lengths (Table 8 reports sizes, not allocator
+  // round-ups).
+  std::size_t xml = XmlMessageKeyGenerator{}.generate(r).material().size();
+  std::size_t ser = SerializationKeyGenerator{}.generate(r).material().size();
+  std::size_t str = ToStringKeyGenerator{}.generate(r).material().size();
+  EXPECT_GT(xml, ser);
+  EXPECT_GT(ser, str);
+}
+
+TEST(KeySizeTest, XmlKeyInTable8Ballpark) {
+  // Table 8: SpellingSuggestion request XML key ~586 bytes.
+  auto r = request("doSpellingSuggestion", "http://api.google.com/search/beta2",
+                   {{"key", Object::make(std::string(32, '0'))},
+                    {"phrase", Object::make(std::string("web servies"))}});
+  std::size_t size = XmlMessageKeyGenerator{}.generate(r).material().size();
+  EXPECT_GT(size, 350u);
+  EXPECT_LT(size, 900u);
+}
+
+// --- CacheKey value semantics ---------------------------------------------------
+
+TEST(CacheKeyTest, DefaultKeyIsEmpty) {
+  CacheKey k;
+  EXPECT_TRUE(k.material().empty());
+  EXPECT_EQ(k.hash(), 0u);
+}
+
+TEST(CacheKeyTest, HashMatchesMaterial) {
+  CacheKey a("hello");
+  CacheKey b("hello");
+  CacheKey c("world");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(CacheKey::Hasher{}(a), CacheKey::Hasher{}(b));
+}
+
+TEST(CacheKeyTest, BinarySafeMaterial) {
+  std::string m1("a\0b", 3);
+  std::string m2("a\0c", 3);
+  EXPECT_NE(CacheKey(m1), CacheKey(m2));
+}
+
+}  // namespace
+}  // namespace wsc::cache

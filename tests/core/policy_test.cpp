@@ -1,0 +1,111 @@
+// §3.2 cache policy: administrator configuration + server directives.
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wsc::cache {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::minutes;
+using std::chrono::seconds;
+
+TEST(PolicyTest, DefaultIsUncacheable) {
+  CachePolicy policy;
+  EXPECT_FALSE(policy.lookup("anything").cacheable);
+}
+
+TEST(PolicyTest, CacheableShorthand) {
+  CachePolicy policy;
+  policy.cacheable("op", minutes(5), Representation::SaxEvents);
+  const OperationPolicy& p = policy.lookup("op");
+  EXPECT_TRUE(p.cacheable);
+  EXPECT_EQ(p.ttl, minutes(5));
+  EXPECT_EQ(p.representation, Representation::SaxEvents);
+  EXPECT_FALSE(p.read_only);
+}
+
+TEST(PolicyTest, UncacheableOverridesPrevious) {
+  CachePolicy policy;
+  policy.cacheable("op");
+  policy.uncacheable("op");
+  EXPECT_FALSE(policy.lookup("op").cacheable);
+}
+
+TEST(PolicyTest, SetFullPolicy) {
+  CachePolicy policy;
+  OperationPolicy p;
+  p.cacheable = true;
+  p.read_only = true;
+  p.prefer_clone = true;
+  policy.set("op", p);
+  EXPECT_TRUE(policy.lookup("op").read_only);
+  EXPECT_TRUE(policy.lookup("op").prefer_clone);
+}
+
+TEST(PolicyTest, PerOperationIndependence) {
+  CachePolicy policy;
+  policy.cacheable("a", minutes(1));
+  policy.cacheable("b", minutes(2));
+  EXPECT_EQ(policy.lookup("a").ttl, minutes(1));
+  EXPECT_EQ(policy.lookup("b").ttl, minutes(2));
+}
+
+// --- effective TTL with server directives --------------------------------------
+
+TEST(PolicyTest, EffectiveTtlWithoutDirectives) {
+  CachePolicy policy;
+  policy.cacheable("op", minutes(10));
+  EXPECT_EQ(policy.effective_ttl(policy.lookup("op"), {}), minutes(10));
+}
+
+TEST(PolicyTest, UncacheableHasNoTtl) {
+  CachePolicy policy;
+  EXPECT_EQ(policy.effective_ttl(policy.lookup("op"), {}), std::nullopt);
+}
+
+TEST(PolicyTest, ServerNoStoreSuppressesCaching) {
+  CachePolicy policy;
+  policy.cacheable("op");
+  http::CacheDirectives d;
+  d.no_store = true;
+  EXPECT_EQ(policy.effective_ttl(policy.lookup("op"), d), std::nullopt);
+}
+
+TEST(PolicyTest, ServerMaxAgeLowersTtl) {
+  CachePolicy policy;
+  policy.cacheable("op", minutes(60));
+  http::CacheDirectives d;
+  d.max_age = seconds(30);
+  EXPECT_EQ(policy.effective_ttl(policy.lookup("op"), d), seconds(30));
+}
+
+TEST(PolicyTest, ServerMaxAgeCannotRaiseTtl) {
+  CachePolicy policy;
+  policy.cacheable("op", seconds(10));
+  http::CacheDirectives d;
+  d.max_age = minutes(60);
+  EXPECT_EQ(policy.effective_ttl(policy.lookup("op"), d), seconds(10));
+}
+
+TEST(PolicyTest, ServerDirectivesCanBeIgnored) {
+  CachePolicy policy;
+  policy.cacheable("op", minutes(10));
+  policy.honor_server_directives(false);
+  http::CacheDirectives d;
+  d.no_store = true;
+  d.max_age = seconds(1);
+  EXPECT_EQ(policy.effective_ttl(policy.lookup("op"), d), minutes(10));
+}
+
+TEST(PolicyTest, ServerCannotEnableCaching) {
+  // Directives only tighten: an uncacheable op stays uncacheable even with
+  // a permissive max-age from the server.
+  CachePolicy policy;
+  http::CacheDirectives d;
+  d.max_age = minutes(60);
+  EXPECT_EQ(policy.effective_ttl(policy.lookup("op"), d), std::nullopt);
+}
+
+}  // namespace
+}  // namespace wsc::cache

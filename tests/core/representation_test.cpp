@@ -1,0 +1,138 @@
+// Applicability matrix (Table 3) and the §6 auto-selector.
+#include "core/representation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "services/google/types.hpp"
+#include "tests/reflect/test_types.hpp"
+
+namespace wsc::cache {
+namespace {
+
+using reflect::type_of;
+using reflect::testing::ensure_test_types;
+using reflect::testing::NoClone;
+using reflect::testing::NoSerialize;
+using reflect::testing::Opaque;
+using reflect::testing::Polygon;
+using reflect::testing::Token;
+
+struct RepresentationFixture : ::testing::Test {
+  void SetUp() override {
+    ensure_test_types();
+    services::google::ensure_google_types();
+  }
+};
+
+TEST_F(RepresentationFixture, XmlAndSaxApplyToEverything) {
+  for (const reflect::TypeInfo* t :
+       {&type_of<std::string>(), &type_of<std::vector<std::uint8_t>>(),
+        &type_of<Polygon>(), &type_of<Opaque>(), &type_of<NoSerialize>()}) {
+    EXPECT_TRUE(applicable(Representation::XmlMessage, *t, false)) << t->name;
+    EXPECT_TRUE(applicable(Representation::SaxEvents, *t, false)) << t->name;
+  }
+}
+
+TEST_F(RepresentationFixture, SerializedNeedsDeepSerializability) {
+  EXPECT_TRUE(applicable(Representation::Serialized, type_of<Polygon>(), false));
+  EXPECT_TRUE(applicable(Representation::Serialized, type_of<std::string>(), false));
+  EXPECT_FALSE(applicable(Representation::Serialized, type_of<NoSerialize>(), false));
+  EXPECT_FALSE(
+      applicable(Representation::Serialized, type_of<reflect::testing::Wrapper>(), false));
+}
+
+TEST_F(RepresentationFixture, ReflectionNeedsBeanOrArray) {
+  EXPECT_TRUE(applicable(Representation::ReflectionCopy, type_of<Polygon>(), false));
+  EXPECT_TRUE(applicable(Representation::ReflectionCopy,
+                         type_of<std::vector<std::uint8_t>>(), false));
+  EXPECT_TRUE(applicable(Representation::ReflectionCopy,
+                         type_of<std::vector<std::string>>(), false));
+  EXPECT_FALSE(applicable(Representation::ReflectionCopy, type_of<std::string>(), false));
+  EXPECT_FALSE(applicable(Representation::ReflectionCopy, type_of<Opaque>(), false));
+}
+
+TEST_F(RepresentationFixture, CloneNeedsGeneratedClone) {
+  EXPECT_TRUE(applicable(Representation::CloneCopy, type_of<Polygon>(), false));
+  EXPECT_FALSE(applicable(Representation::CloneCopy, type_of<NoClone>(), false));
+  EXPECT_FALSE(applicable(Representation::CloneCopy, type_of<std::string>(), false));
+  // Arrays clone via the vector copy constructor.
+  EXPECT_TRUE(applicable(Representation::CloneCopy,
+                         type_of<std::vector<std::string>>(), false));
+}
+
+TEST_F(RepresentationFixture, ReferenceNeedsImmutabilityOrDeclaration) {
+  EXPECT_TRUE(applicable(Representation::Reference, type_of<std::string>(), false));
+  EXPECT_TRUE(applicable(Representation::Reference, type_of<Token>(), false));
+  EXPECT_FALSE(applicable(Representation::Reference, type_of<Polygon>(), false));
+  // The administrator's read-only declaration unlocks it (§4.2.4).
+  EXPECT_TRUE(applicable(Representation::Reference, type_of<Polygon>(), true));
+  EXPECT_TRUE(applicable(Representation::Reference,
+                         type_of<std::vector<std::uint8_t>>(), true));
+}
+
+// --- §6 auto-selection ----------------------------------------------------------
+
+TEST_F(RepresentationFixture, AutoSelectFollowsSection6Order) {
+  // a) immutable -> reference
+  EXPECT_EQ(auto_select(type_of<std::string>(), false), Representation::Reference);
+  EXPECT_EQ(auto_select(type_of<Token>(), false), Representation::Reference);
+  // b) bean/array -> reflection
+  EXPECT_EQ(auto_select(type_of<Polygon>(), false), Representation::ReflectionCopy);
+  EXPECT_EQ(auto_select(type_of<std::vector<std::uint8_t>>(), false),
+            Representation::ReflectionCopy);
+  // c) serializable (but not bean/array): Opaque is neither -> d
+  // d) fallback -> SAX events
+  EXPECT_EQ(auto_select(type_of<Opaque>(), false), Representation::SaxEvents);
+}
+
+TEST_F(RepresentationFixture, AutoSelectSerializableNonBean) {
+  // A non-bean but serializable struct hits rule (c).  Build one on the fly.
+  struct SealedRecord {
+    std::string data;
+  };
+  static const reflect::TypeInfo& t =
+      reflect::StructBuilder<SealedRecord>("test.SealedRecord")
+          .field("data", &SealedRecord::data)
+          .not_bean()
+          .serializable()
+          .register_type();
+  EXPECT_EQ(auto_select(t, false), Representation::Serialized);
+}
+
+TEST_F(RepresentationFixture, ReadOnlyDeclarationShortCircuits) {
+  EXPECT_EQ(auto_select(type_of<Polygon>(), true), Representation::Reference);
+}
+
+TEST_F(RepresentationFixture, PreferCloneUpgradesBeanRule) {
+  EXPECT_EQ(auto_select(type_of<Polygon>(), false, true), Representation::CloneCopy);
+  // Without a clone, prefer_clone falls through to reflection.
+  EXPECT_EQ(auto_select(type_of<NoClone>(), false, true),
+            Representation::ReflectionCopy);
+}
+
+TEST_F(RepresentationFixture, AutoSelectionForGoogleTypes) {
+  using services::google::GoogleSearchResult;
+  // The paper's own summary: String -> reference, byte[]/beans -> reflection.
+  EXPECT_EQ(auto_select(type_of<std::string>(), false), Representation::Reference);
+  EXPECT_EQ(auto_select(type_of<std::vector<std::uint8_t>>(), false),
+            Representation::ReflectionCopy);
+  EXPECT_EQ(auto_select(type_of<GoogleSearchResult>(), false),
+            Representation::ReflectionCopy);
+}
+
+TEST_F(RepresentationFixture, AutoIsAlwaysApplicable) {
+  EXPECT_TRUE(applicable(Representation::Auto, type_of<Opaque>(), false));
+}
+
+TEST(RepresentationNamesTest, AllNamed) {
+  EXPECT_EQ(representation_name(Representation::XmlMessage), "XML message");
+  EXPECT_EQ(representation_name(Representation::SaxEvents), "SAX events sequence");
+  EXPECT_EQ(representation_name(Representation::Serialized), "Java serialization");
+  EXPECT_EQ(representation_name(Representation::ReflectionCopy), "Copy by reflection");
+  EXPECT_EQ(representation_name(Representation::CloneCopy), "Copy by clone");
+  EXPECT_EQ(representation_name(Representation::Reference), "Pass by reference");
+  EXPECT_EQ(key_method_name(KeyMethod::ToString), "toString method");
+}
+
+}  // namespace
+}  // namespace wsc::cache

@@ -1,0 +1,233 @@
+// §3.2 HTTP consistency hook: If-Modified-Since revalidation of expired
+// cache entries (extension over the paper's plain TTL, using the exact
+// mechanism the paper points at: "the If-Modified-Since header enables
+// conditional requests and then a server can return an empty response
+// with status code 304").
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/client.hpp"
+#include "soap/dispatcher.hpp"
+#include "soap/serializer.hpp"
+#include "tests/soap/test_service.hpp"
+#include "transport/inproc_transport.hpp"
+
+namespace wsc::cache {
+namespace {
+
+using reflect::Object;
+using soap::Parameter;
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+using wsc::soap::testing::make_test_service;
+using wsc::soap::testing::test_description;
+
+constexpr const char* kEndpoint = "inproc://svc/reval";
+
+// --- ResponseCache primitives ---------------------------------------------------
+
+class DummyValue final : public CachedValue {
+ public:
+  reflect::Object retrieve() const override { return Object::make(7); }
+  Representation representation() const override {
+    return Representation::Reference;
+  }
+  std::size_t memory_size() const override { return 16; }
+};
+
+TEST(StaleLookupTest, FreshEntryCountsHit) {
+  util::ManualClock clock;
+  ResponseCache cache(ResponseCache::Config{}, clock);
+  cache.store(CacheKey("k"), std::make_shared<DummyValue>(), milliseconds(100),
+              seconds(42));
+  ResponseCache::StaleLookup s = cache.lookup_for_revalidation(CacheKey("k"));
+  EXPECT_TRUE(s.fresh);
+  ASSERT_NE(s.value, nullptr);
+  EXPECT_EQ(s.last_modified, seconds(42));
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(StaleLookupTest, ExpiredEntryExposedWithoutCounting) {
+  util::ManualClock clock;
+  ResponseCache cache(ResponseCache::Config{}, clock);
+  cache.store(CacheKey("k"), std::make_shared<DummyValue>(), milliseconds(100),
+              seconds(42));
+  clock.advance(milliseconds(200));
+  ResponseCache::StaleLookup s = cache.lookup_for_revalidation(CacheKey("k"));
+  EXPECT_FALSE(s.fresh);
+  ASSERT_NE(s.value, nullptr);  // stale but present
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.entry_count(), 1u);  // not removed
+}
+
+TEST(StaleLookupTest, AbsentEntryCountsMiss) {
+  ResponseCache cache;
+  ResponseCache::StaleLookup s = cache.lookup_for_revalidation(CacheKey("nope"));
+  EXPECT_EQ(s.value, nullptr);
+  EXPECT_FALSE(s.fresh);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(StaleLookupTest, RefreshRenewsLease) {
+  util::ManualClock clock;
+  ResponseCache cache(ResponseCache::Config{}, clock);
+  cache.store(CacheKey("k"), std::make_shared<DummyValue>(), milliseconds(100));
+  clock.advance(milliseconds(200));
+  EXPECT_EQ(cache.lookup(CacheKey("k")), nullptr);  // expired... and erased!
+  // Re-store and refresh before expiry this time.
+  cache.store(CacheKey("k"), std::make_shared<DummyValue>(), milliseconds(100));
+  clock.advance(milliseconds(90));
+  EXPECT_TRUE(cache.refresh(CacheKey("k"), milliseconds(100)));
+  clock.advance(milliseconds(90));
+  EXPECT_NE(cache.lookup(CacheKey("k")), nullptr);  // lease renewed
+  EXPECT_EQ(cache.stats().revalidations, 1u);
+}
+
+TEST(StaleLookupTest, RefreshOnMissingEntryFails) {
+  ResponseCache cache;
+  EXPECT_FALSE(cache.refresh(CacheKey("ghost"), milliseconds(100)));
+}
+
+// --- full middleware flow --------------------------------------------------------
+
+struct RevalFixture {
+  RevalFixture() {
+    transport = std::make_shared<transport::InProcessTransport>();
+    auto service = make_test_service();
+    service->bind("echoString", [this](const std::vector<Parameter>& p) {
+      ++service_calls;
+      return Object::make("v" + std::to_string(resource_version.load()) + ":" +
+                          p.at(0).value.as<std::string>());
+    });
+    transport->bind(
+        kEndpoint, service, {},
+        [this](const std::string&) {
+          return std::optional<seconds>(seconds(last_modified.load()));
+        });
+  }
+
+  CachingServiceClient make_client(bool revalidate,
+                                   milliseconds ttl = milliseconds(1000)) {
+    CachingServiceClient::Options options;
+    OperationPolicy p;
+    p.cacheable = true;
+    p.ttl = ttl;
+    p.revalidate = revalidate;
+    options.policy.set("echoString", p);
+    response_cache =
+        std::make_shared<ResponseCache>(ResponseCache::Config{}, clock);
+    return CachingServiceClient(transport, test_description(), kEndpoint,
+                                response_cache, options);
+  }
+
+  Object call(CachingServiceClient& client) {
+    return client.invoke("echoString", {{"s", Object::make(std::string("q"))}});
+  }
+
+  util::ManualClock clock;
+  std::shared_ptr<transport::InProcessTransport> transport;
+  std::shared_ptr<ResponseCache> response_cache;
+  std::atomic<int> service_calls{0};
+  std::atomic<int> resource_version{1};
+  std::atomic<long> last_modified{1000};  // seconds
+};
+
+TEST(RevalidationFlowTest, UnchangedResourceRenewsWithout304Refetch) {
+  RevalFixture f;
+  auto client = f.make_client(/*revalidate=*/true);
+  EXPECT_EQ(f.call(client).as<std::string>(), "v1:q");
+  EXPECT_EQ(f.service_calls, 1);
+
+  f.clock.advance(milliseconds(2000));  // entry expires; resource unchanged
+  EXPECT_EQ(f.call(client).as<std::string>(), "v1:q");
+  EXPECT_EQ(f.service_calls, 1);  // 304 answered before dispatch
+  EXPECT_EQ(f.response_cache->stats().revalidations, 1u);
+
+  // The renewed lease serves fresh hits again.
+  EXPECT_EQ(f.call(client).as<std::string>(), "v1:q");
+  EXPECT_EQ(f.service_calls, 1);
+}
+
+TEST(RevalidationFlowTest, ChangedResourceRefetches) {
+  RevalFixture f;
+  auto client = f.make_client(/*revalidate=*/true);
+  f.call(client);
+  f.clock.advance(milliseconds(2000));
+  f.resource_version = 2;
+  f.last_modified = 5000;  // after the cached entry's Last-Modified
+  EXPECT_EQ(f.call(client).as<std::string>(), "v2:q");
+  EXPECT_EQ(f.service_calls, 2);
+  EXPECT_EQ(f.response_cache->stats().revalidations, 0u);
+}
+
+TEST(RevalidationFlowTest, DisabledPolicyAlwaysRefetches) {
+  RevalFixture f;
+  auto client = f.make_client(/*revalidate=*/false);
+  f.call(client);
+  f.clock.advance(milliseconds(2000));
+  EXPECT_EQ(f.call(client).as<std::string>(), "v1:q");
+  EXPECT_EQ(f.service_calls, 2);  // full round trip despite no change
+}
+
+TEST(RevalidationFlowTest, NoLastModifiedFallsBackToRefetch) {
+  RevalFixture f;
+  // Rebind without a Last-Modified provider.
+  f.transport = std::make_shared<transport::InProcessTransport>();
+  auto service = make_test_service();
+  service->bind("echoString", [&f](const std::vector<Parameter>& p) {
+    ++f.service_calls;
+    return Object::make("plain:" + p.at(0).value.as<std::string>());
+  });
+  f.transport->bind(kEndpoint, service);
+
+  auto client = f.make_client(/*revalidate=*/true);
+  f.call(client);
+  f.clock.advance(milliseconds(2000));
+  EXPECT_EQ(f.call(client).as<std::string>(), "plain:q");
+  EXPECT_EQ(f.service_calls, 2);  // stale entry, no validator: refetch
+}
+
+TEST(RevalidationFlowTest, StaleEntriesStayUsableWhileRevalidating) {
+  // The stale value handle remains retrievable even if the entry is
+  // replaced concurrently (shared_ptr semantics).
+  util::ManualClock clock;
+  ResponseCache cache(ResponseCache::Config{}, clock);
+  cache.store(CacheKey("k"), std::make_shared<DummyValue>(), milliseconds(10));
+  clock.advance(milliseconds(20));
+  ResponseCache::StaleLookup s = cache.lookup_for_revalidation(CacheKey("k"));
+  cache.store(CacheKey("k"), std::make_shared<DummyValue>(), milliseconds(10));
+  EXPECT_EQ(s.value->retrieve().as<std::int32_t>(), 7);
+}
+
+// --- peek_operation (used by conditional dispatch) --------------------------------
+
+TEST(PeekOperationTest, FindsFirstBodyChild) {
+  soap::RpcRequest r;
+  r.ns = "urn:Test";
+  r.operation = "echoString";
+  r.params = {{"s", Object::make(std::string("x"))}};
+  EXPECT_EQ(soap::peek_operation(soap::serialize_request(r)), "echoString");
+}
+
+TEST(PeekOperationTest, NonSoapInputsYieldEmpty) {
+  EXPECT_EQ(soap::peek_operation("<html/>"), "");
+  EXPECT_EQ(soap::peek_operation("not xml at all"), "");
+  EXPECT_EQ(soap::peek_operation(""), "");
+  EXPECT_EQ(soap::peek_operation(
+                "<e:Envelope xmlns:e=\"http://schemas.xmlsoap.org/soap/envelope/\">"
+                "<e:Body/></e:Envelope>"),
+            "");
+}
+
+TEST(PeekOperationTest, IgnoresHeaderBlocks) {
+  const char* doc =
+      "<e:Envelope xmlns:e=\"http://schemas.xmlsoap.org/soap/envelope/\">"
+      "<e:Header><sec><token>x</token></sec></e:Header>"
+      "<e:Body><w:theOp xmlns:w=\"urn:T\"/></e:Body></e:Envelope>";
+  EXPECT_EQ(soap::peek_operation(doc), "theOp");
+}
+
+}  // namespace
+}  // namespace wsc::cache

@@ -1,0 +1,83 @@
+#include "http/cache_headers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wsc::http {
+namespace {
+
+TEST(CacheControlTest, ParsesMaxAge) {
+  CacheDirectives d = parse_cache_control("max-age=3600");
+  EXPECT_TRUE(d.cacheable());
+  ASSERT_TRUE(d.max_age.has_value());
+  EXPECT_EQ(d.max_age->count(), 3600);
+}
+
+TEST(CacheControlTest, ParsesNoStoreNoCache) {
+  EXPECT_FALSE(parse_cache_control("no-store").cacheable());
+  EXPECT_FALSE(parse_cache_control("no-cache").cacheable());
+  CacheDirectives d = parse_cache_control("no-store, no-cache");
+  EXPECT_TRUE(d.no_store);
+  EXPECT_TRUE(d.no_cache);
+}
+
+TEST(CacheControlTest, CaseAndWhitespaceInsensitive) {
+  CacheDirectives d = parse_cache_control("  Max-Age=60 ,  NO-STORE ");
+  EXPECT_TRUE(d.no_store);
+  EXPECT_EQ(d.max_age->count(), 60);
+}
+
+TEST(CacheControlTest, UnknownDirectivesIgnored) {
+  CacheDirectives d = parse_cache_control("public, s-maxage=10, immutable");
+  EXPECT_TRUE(d.cacheable());
+  EXPECT_FALSE(d.max_age.has_value());
+}
+
+TEST(CacheControlTest, MalformedMaxAgeIsConservative) {
+  EXPECT_FALSE(parse_cache_control("max-age=soon").cacheable());
+}
+
+TEST(CacheControlTest, ResponseExtraction) {
+  Response r;
+  EXPECT_TRUE(cache_directives(r).cacheable());  // absent header
+  r.headers.set("Cache-Control", "no-store");
+  EXPECT_FALSE(cache_directives(r).cacheable());
+}
+
+TEST(CacheControlTest, FormatRoundTrips) {
+  CacheDirectives d;
+  d.max_age = std::chrono::seconds(120);
+  CacheDirectives back = parse_cache_control(format_cache_control(d));
+  EXPECT_EQ(back.max_age->count(), 120);
+  EXPECT_TRUE(back.cacheable());
+
+  CacheDirectives ns;
+  ns.no_store = true;
+  EXPECT_FALSE(parse_cache_control(format_cache_control(ns)).cacheable());
+
+  EXPECT_EQ(format_cache_control(CacheDirectives{}), "public");
+}
+
+TEST(HttpDateTest, FormatsAndParses) {
+  auto t = std::chrono::seconds(1'000'000'000);
+  std::string s = format_http_date(t);
+  EXPECT_NE(s.find("GMT"), std::string::npos);
+  auto back = parse_http_date(s);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, t);
+}
+
+TEST(HttpDateTest, RoundTripsAcrossRange) {
+  for (long long secs : {0LL, 59LL, 86'399LL, 86'400LL, 123'456'789LL}) {
+    auto t = std::chrono::seconds(secs);
+    EXPECT_EQ(parse_http_date(format_http_date(t)), t) << secs;
+  }
+}
+
+TEST(HttpDateTest, RejectsGarbage) {
+  EXPECT_FALSE(parse_http_date("yesterday").has_value());
+  EXPECT_FALSE(parse_http_date("").has_value());
+  EXPECT_FALSE(parse_http_date("Mon, 99 Zzz 2004 99:99:99 GMT").has_value());
+}
+
+}  // namespace
+}  // namespace wsc::http

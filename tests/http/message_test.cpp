@@ -1,0 +1,70 @@
+#include "http/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace wsc::http {
+namespace {
+
+TEST(HeadersTest, SetReplacesCaseInsensitively) {
+  Headers h;
+  h.set("Content-Type", "text/xml");
+  h.set("content-type", "text/html");
+  EXPECT_EQ(h.all().size(), 1u);
+  EXPECT_EQ(*h.get("CONTENT-TYPE"), "text/html");
+}
+
+TEST(HeadersTest, AddAppendsDuplicates) {
+  Headers h;
+  h.add("Set-Cookie", "a=1");
+  h.add("Set-Cookie", "b=2");
+  EXPECT_EQ(h.all().size(), 2u);
+  EXPECT_EQ(*h.get("set-cookie"), "a=1");  // first match
+}
+
+TEST(HeadersTest, GetMissingReturnsNullopt) {
+  Headers h;
+  EXPECT_FALSE(h.get("X-Missing").has_value());
+  EXPECT_FALSE(h.contains("X-Missing"));
+}
+
+TEST(RequestTest, ToBytesAddsContentLength) {
+  Request r;
+  r.method = "POST";
+  r.target = "/soap";
+  r.headers.set("Host", "h");
+  r.body = "12345";
+  std::string bytes = r.to_bytes();
+  EXPECT_EQ(bytes.find("POST /soap HTTP/1.1\r\n"), 0u);
+  EXPECT_NE(bytes.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(bytes.find("\r\n\r\n12345"), std::string::npos);
+}
+
+TEST(RequestTest, ExplicitContentLengthNotDuplicated) {
+  Request r;
+  r.headers.set("Content-Length", "0");
+  std::string bytes = r.to_bytes();
+  EXPECT_EQ(bytes.find("Content-Length"), bytes.rfind("Content-Length"));
+}
+
+TEST(ResponseTest, ToBytesUsesStandardReason) {
+  Response r;
+  r.status = 404;
+  EXPECT_EQ(r.to_bytes().find("HTTP/1.1 404 Not Found\r\n"), 0u);
+}
+
+TEST(ResponseTest, CustomReasonPreserved) {
+  Response r;
+  r.status = 200;
+  r.reason = "Totally Fine";
+  EXPECT_EQ(r.to_bytes().find("HTTP/1.1 200 Totally Fine\r\n"), 0u);
+}
+
+TEST(ReasonPhraseTest, CoversCommonStatuses) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(304), "Not Modified");
+  EXPECT_EQ(reason_phrase(500), "Internal Server Error");
+  EXPECT_EQ(reason_phrase(999), "Unknown");
+}
+
+}  // namespace
+}  // namespace wsc::http

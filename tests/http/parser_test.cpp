@@ -1,0 +1,160 @@
+#include "http/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wsc::http {
+namespace {
+
+TEST(RequestParserTest, ParsesCompleteRequest) {
+  RequestParser p;
+  std::string raw =
+      "POST /soap HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody";
+  EXPECT_EQ(p.feed(raw), raw.size());
+  ASSERT_TRUE(p.complete());
+  Request r = p.take();
+  EXPECT_EQ(r.method, "POST");
+  EXPECT_EQ(r.target, "/soap");
+  EXPECT_EQ(*r.headers.get("host"), "h");
+  EXPECT_EQ(r.body, "body");
+}
+
+TEST(RequestParserTest, ByteAtATimeFeeding) {
+  RequestParser p;
+  std::string raw = "GET /x HTTP/1.1\r\nA: 1\r\nContent-Length: 3\r\n\r\nabc";
+  for (char c : raw) {
+    ASSERT_FALSE(p.complete());
+    EXPECT_EQ(p.feed(std::string_view(&c, 1)), 1u);
+  }
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(p.take().body, "abc");
+}
+
+TEST(RequestParserTest, NoBodyWithoutContentLength) {
+  RequestParser p;
+  p.feed("GET / HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(p.complete());
+  EXPECT_TRUE(p.take().body.empty());
+}
+
+TEST(RequestParserTest, PipelinedRequestsConsumePartially) {
+  RequestParser p;
+  std::string two =
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+  std::size_t used = p.feed(two);
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.take().target, "/a");
+  // Leftover bytes belong to the next message.
+  std::size_t used2 = p.feed(std::string_view(two).substr(used));
+  EXPECT_EQ(used + used2, two.size());
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.take().target, "/b");
+}
+
+TEST(RequestParserTest, HeaderWhitespaceTrimmed) {
+  RequestParser p;
+  p.feed("GET / HTTP/1.1\r\nKey:    spaced value   \r\n\r\n");
+  EXPECT_EQ(*p.take().headers.get("Key"), "spaced value");
+}
+
+TEST(RequestParserTest, RejectsMalformedStartLine) {
+  RequestParser p;
+  EXPECT_THROW(p.feed("NOT A REQUEST LINE AT ALL\r\n\r\n"), ParseError);
+  RequestParser p2;
+  EXPECT_THROW(p2.feed("GET / HTTP/2.0\r\n\r\n"), ParseError);
+}
+
+TEST(RequestParserTest, RejectsMalformedHeader) {
+  RequestParser p;
+  EXPECT_THROW(p.feed("GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"), ParseError);
+}
+
+TEST(RequestParserTest, RejectsChunkedEncoding) {
+  RequestParser p;
+  EXPECT_THROW(
+      p.feed("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+      ParseError);
+}
+
+TEST(RequestParserTest, RejectsNegativeContentLength) {
+  RequestParser p;
+  EXPECT_THROW(p.feed("POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),
+               ParseError);
+}
+
+TEST(RequestParserTest, TakeBeforeCompleteThrows) {
+  RequestParser p;
+  p.feed("GET / HTTP/1.1\r\n");
+  EXPECT_THROW(p.take(), ParseError);
+}
+
+TEST(ResponseParserTest, ParsesResponse) {
+  ResponseParser p;
+  p.feed("HTTP/1.1 200 OK\r\nContent-Length: 2\r\nX: y\r\n\r\nhi");
+  ASSERT_TRUE(p.complete());
+  Response r = p.take();
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.reason, "OK");
+  EXPECT_EQ(r.body, "hi");
+}
+
+TEST(ResponseParserTest, ReasonWithSpaces) {
+  ResponseParser p;
+  p.feed("HTTP/1.1 500 Internal Server Error\r\n\r\n");
+  Response r = p.take();
+  EXPECT_EQ(r.status, 500);
+  EXPECT_EQ(r.reason, "Internal Server Error");
+}
+
+TEST(ResponseParserTest, EmptyReasonAllowed) {
+  ResponseParser p;
+  p.feed("HTTP/1.1 204\r\n\r\n");
+  EXPECT_EQ(p.take().status, 204);
+}
+
+TEST(ResponseParserTest, SplitAcrossHeaderBoundary) {
+  // The CRLFCRLF terminator split between feeds.
+  ResponseParser p;
+  p.feed("HTTP/1.1 200 OK\r\nContent-Length: 1\r\n\r");
+  EXPECT_FALSE(p.complete());
+  p.feed("\nZ");
+  ASSERT_TRUE(p.complete());
+  EXPECT_EQ(p.take().body, "Z");
+}
+
+TEST(ResponseParserTest, ParserReusableAfterTake) {
+  ResponseParser p;
+  p.feed("HTTP/1.1 200 OK\r\n\r\n");
+  p.take();
+  p.feed("HTTP/1.1 404 Not Found\r\n\r\n");
+  EXPECT_EQ(p.take().status, 404);
+}
+
+TEST(ResponseParserTest, RejectsGarbageStatusLine) {
+  ResponseParser p;
+  EXPECT_THROW(p.feed("SIP/2.0 200 OK\r\n\r\n"), ParseError);
+  ResponseParser p2;
+  EXPECT_THROW(p2.feed("HTTP/1.1\r\n\r\n"), ParseError);
+  ResponseParser p3;
+  EXPECT_THROW(p3.feed("HTTP/1.1 abc OK\r\n\r\n"), ParseError);
+}
+
+TEST(RoundTripTest, MessageToBytesReparses) {
+  Request r;
+  r.method = "POST";
+  r.target = "/x?q=1";
+  r.headers.set("SOAPAction", "\"urn:x#op\"");
+  r.body = std::string(1000, 'b');
+  RequestParser p;
+  std::string bytes = r.to_bytes();
+  EXPECT_EQ(p.feed(bytes), bytes.size());
+  Request back = p.take();
+  EXPECT_EQ(back.method, r.method);
+  EXPECT_EQ(back.target, r.target);
+  EXPECT_EQ(*back.headers.get("soapaction"), "\"urn:x#op\"");
+  EXPECT_EQ(back.body, r.body);
+}
+
+}  // namespace
+}  // namespace wsc::http

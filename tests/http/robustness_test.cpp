@@ -1,0 +1,140 @@
+// HTTP server robustness: hostile/garbage clients must not crash, hang or
+// wedge the server; well-behaved clients keep working afterwards.
+#include <gtest/gtest.h>
+
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "http/socket.hpp"
+#include <chrono>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace wsc::http {
+namespace {
+
+Handler ok_handler() {
+  return [](const Request&) {
+    Response r;
+    r.body = "ok";
+    return r;
+  };
+}
+
+void expect_still_serving(HttpServer& server) {
+  HttpConnection conn("127.0.0.1", server.port());
+  EXPECT_EQ(conn.round_trip(Request{}).body, "ok");
+}
+
+TEST(HttpRobustnessTest, GarbageBytesDropConnectionOnly) {
+  HttpServer server(0, ok_handler());
+  server.start();
+  util::Rng rng(77);
+  for (int i = 0; i < 20; ++i) {
+    TcpStream s = TcpStream::connect("127.0.0.1", server.port());
+    auto junk = rng.next_bytes(1 + rng.next_below(300));
+    try {
+      s.write_all(std::string_view(reinterpret_cast<const char*>(junk.data()),
+                                   junk.size()));
+    } catch (const TransportError&) {
+      // server may already have dropped us mid-write; fine
+    }
+    s.close();
+  }
+  expect_still_serving(server);
+  server.stop();
+}
+
+TEST(HttpRobustnessTest, ClientDisconnectMidRequest) {
+  HttpServer server(0, ok_handler());
+  server.start();
+  {
+    TcpStream s = TcpStream::connect("127.0.0.1", server.port());
+    s.write_all("POST / HTTP/1.1\r\nContent-Length: 100000\r\n\r\npartial");
+    // ...and vanish without the promised body.
+  }
+  expect_still_serving(server);
+  server.stop();
+}
+
+TEST(HttpRobustnessTest, OversizedHeaderRejected) {
+  HttpServer server(0, ok_handler());
+  server.start();
+  TcpStream s = TcpStream::connect("127.0.0.1", server.port());
+  try {
+    s.write_all("GET / HTTP/1.1\r\nX-Big: " + std::string(100'000, 'h'));
+    // Server aborts the connection once the 64 KiB head cap is hit; our
+    // remaining writes may fail with EPIPE/ECONNRESET.
+    s.write_all(std::string(100'000, 'h'));
+  } catch (const TransportError&) {
+  }
+  expect_still_serving(server);
+  server.stop();
+}
+
+TEST(HttpRobustnessTest, PipelinedRequestsOnOneSocket) {
+  HttpServer server(0, ok_handler());
+  server.start();
+  TcpStream s = TcpStream::connect("127.0.0.1", server.port());
+  // Two complete requests in one write: the server must answer both.
+  s.write_all("GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n");
+  std::string received;
+  char buf[4096];
+  while (received.find("ok") == std::string::npos ||
+         received.find("ok", received.find("ok") + 1) == std::string::npos) {
+    std::size_t n = s.read_some(buf, sizeof(buf));
+    ASSERT_GT(n, 0u) << "server closed before answering both requests";
+    received.append(buf, n);
+  }
+  EXPECT_EQ(received.find("HTTP/1.1 200"), 0u);
+  server.stop();
+}
+
+TEST(HttpRobustnessTest, SlowLorisSingleByteWrites) {
+  HttpServer server(0, ok_handler());
+  server.start();
+  TcpStream s = TcpStream::connect("127.0.0.1", server.port());
+  const std::string request = "GET / HTTP/1.1\r\nA: b\r\n\r\n";
+  for (char c : request) s.write_all(std::string_view(&c, 1));
+  char buf[1024];
+  std::size_t n = s.read_some(buf, sizeof(buf));
+  EXPECT_GT(n, 0u);
+  EXPECT_EQ(std::string_view(buf, 12), "HTTP/1.1 200");
+  server.stop();
+}
+
+TEST(HttpRobustnessTest, ManySequentialConnections) {
+  HttpServer server(0, ok_handler());
+  server.start();
+  for (int i = 0; i < 100; ++i) {
+    HttpConnection conn("127.0.0.1", server.port());
+    EXPECT_EQ(conn.round_trip(Request{}).status, 200);
+  }
+  server.stop();
+}
+
+TEST(HttpRobustnessTest, StopWhileRequestsInFlight) {
+  HttpServer server(0, [](const Request&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Response r;
+    r.body = "slow";
+    return r;
+  });
+  server.start();
+  std::thread client([&] {
+    try {
+      HttpConnection conn("127.0.0.1", server.port());
+      for (int i = 0; i < 50; ++i) conn.round_trip(Request{});
+    } catch (const wsc::Error&) {
+      // the stop below may cut us off mid-flight
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  server.stop();  // must return promptly despite the in-flight request
+  client.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace wsc::http

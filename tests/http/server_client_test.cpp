@@ -1,0 +1,146 @@
+// Integration tests for the HTTP server + client over real loopback TCP.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "util/error.hpp"
+
+namespace wsc::http {
+namespace {
+
+Handler echo_handler() {
+  return [](const Request& request) {
+    Response response;
+    response.headers.set("Content-Type", "text/plain");
+    response.body = request.method + " " + request.target + "|" + request.body;
+    return response;
+  };
+}
+
+TEST(HttpServerClientTest, BasicRoundTrip) {
+  HttpServer server(0, echo_handler());
+  server.start();
+  HttpConnection conn("127.0.0.1", server.port());
+  Request r;
+  r.method = "POST";
+  r.target = "/echo";
+  r.body = "hello";
+  Response resp = conn.round_trip(r);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "POST /echo|hello");
+  server.stop();
+}
+
+TEST(HttpServerClientTest, KeepAliveReusesConnection) {
+  HttpServer server(0, echo_handler());
+  server.start();
+  HttpConnection conn("127.0.0.1", server.port());
+  for (int i = 0; i < 20; ++i) {
+    Request r;
+    r.target = "/n/" + std::to_string(i);
+    Response resp = conn.round_trip(r);
+    EXPECT_EQ(resp.body, "GET /n/" + std::to_string(i) + "|");
+  }
+  server.stop();
+}
+
+TEST(HttpServerClientTest, LargeBodyRoundTrip) {
+  HttpServer server(0, echo_handler());
+  server.start();
+  HttpConnection conn("127.0.0.1", server.port());
+  Request r;
+  r.method = "POST";
+  r.body = std::string(1 << 20, 'x');  // 1 MiB
+  Response resp = conn.round_trip(r);
+  EXPECT_EQ(resp.body.size(), r.body.size() + std::string("POST /|").size());
+  server.stop();
+}
+
+TEST(HttpServerClientTest, HandlerExceptionBecomes500) {
+  HttpServer server(0, [](const Request&) -> Response {
+    throw std::runtime_error("kaboom");
+  });
+  server.start();
+  HttpConnection conn("127.0.0.1", server.port());
+  Response resp = conn.round_trip(Request{});
+  EXPECT_EQ(resp.status, 500);
+  EXPECT_NE(resp.body.find("kaboom"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServerClientTest, ConnectionCloseHonored) {
+  HttpServer server(0, echo_handler());
+  server.start();
+  HttpConnection conn("127.0.0.1", server.port());
+  Request r;
+  r.headers.set("Connection", "close");
+  Response resp = conn.round_trip(r);
+  EXPECT_EQ(*resp.headers.get("Connection"), "close");
+  // Client transparently reconnects for the next request.
+  EXPECT_EQ(conn.round_trip(Request{}).status, 200);
+  server.stop();
+}
+
+TEST(HttpServerClientTest, ConcurrentClients) {
+  HttpServer server(0, echo_handler());
+  server.start();
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      HttpConnection conn("127.0.0.1", server.port());
+      for (int i = 0; i < 25; ++i) {
+        Request r;
+        r.target = "/c" + std::to_string(c);
+        if (conn.round_trip(r).status == 200) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), 8 * 25);
+  server.stop();
+}
+
+TEST(HttpServerClientTest, StopUnblocksIdleKeepAliveConnections) {
+  // Regression test for the shutdown deadlock: a client holds an idle
+  // keep-alive connection while the server stops.
+  HttpServer server(0, echo_handler());
+  server.start();
+  HttpConnection conn("127.0.0.1", server.port());
+  conn.round_trip(Request{});
+  auto t0 = std::chrono::steady_clock::now();
+  server.stop();  // must not wait for the client to disconnect
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds(5));
+}
+
+TEST(HttpServerClientTest, ConnectToClosedPortThrows) {
+  std::uint16_t dead_port;
+  {
+    HttpServer server(0, echo_handler());
+    dead_port = server.port();
+  }
+  HttpConnection conn("127.0.0.1", dead_port);
+  EXPECT_THROW(conn.round_trip(Request{}), TransportError);
+}
+
+TEST(HttpServerClientTest, StartStopIdempotent) {
+  HttpServer server(0, echo_handler());
+  server.start();
+  server.start();
+  server.stop();
+  server.stop();
+  SUCCEED();
+}
+
+TEST(HttpServerClientTest, AutoAssignedPortsAreDistinct) {
+  HttpServer a(0, echo_handler());
+  HttpServer b(0, echo_handler());
+  EXPECT_NE(a.port(), 0);
+  EXPECT_NE(a.port(), b.port());
+}
+
+}  // namespace
+}  // namespace wsc::http

@@ -1,0 +1,134 @@
+// Load simulator: exact hit-ratio control and report plumbing.
+#include "portal/load_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace wsc::portal {
+namespace {
+
+TEST(LoadSimTest, RunsExactRequestCount) {
+  int fetches = 0;
+  LoadConfig config;
+  config.concurrency = 1;
+  config.requests_per_client = 50;
+  config.hot_set_size = 4;
+  LoadReport report =
+      run_load(config, [&](int, const std::string&) { ++fetches; });
+  // hot-set warmup + per-client warmup + measured requests
+  EXPECT_EQ(fetches, 4 + 1 + 50);
+  EXPECT_EQ(report.requests, 50u);
+  EXPECT_EQ(report.latency.count(), 50u);
+  EXPECT_GT(report.throughput_rps, 0.0);
+}
+
+TEST(LoadSimTest, HitRatioZeroUsesOnlyUniqueQueries) {
+  std::set<std::string> queries;
+  int measured = 0;
+  LoadConfig config;
+  config.requests_per_client = 40;
+  config.hit_ratio = 0.0;
+  config.hot_set_size = 4;
+  run_load(config, [&](int, const std::string& q) {
+    ++measured;
+    if (q.rfind("miss-", 0) == 0) queries.insert(q);
+  });
+  EXPECT_EQ(measured, 4 + 1 + 40);  // warmups are all hot queries
+  EXPECT_EQ(queries.size(), 40u);   // every measured request distinct
+}
+
+TEST(LoadSimTest, HitRatioOneUsesOnlyHotQueries) {
+  std::set<std::string> measured_queries;
+  int calls = 0;
+  LoadConfig config;
+  config.requests_per_client = 40;
+  config.hit_ratio = 1.0;
+  config.hot_set_size = 4;
+  run_load(config, [&](int, const std::string& q) {
+    ++calls;
+    measured_queries.insert(q);
+  });
+  EXPECT_EQ(calls, 4 + 1 + 40);
+  EXPECT_LE(measured_queries.size(), 4u);  // only hot-set members ever used
+  for (const auto& q : measured_queries) EXPECT_EQ(q.find("hot-"), 0u) << q;
+}
+
+class HitRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HitRatioSweep, AchievesTargetExactly) {
+  int hot = 0, miss = 0, calls = 0;
+  LoadConfig config;
+  config.requests_per_client = 200;
+  config.hit_ratio = GetParam();
+  config.hot_set_size = 8;
+  run_load(config, [&](int, const std::string& q) {
+    if (++calls <= 8 + 1) return;  // hot-set + per-client warmup
+    if (q.rfind("hot-", 0) == 0) ++hot;
+    else ++miss;
+  });
+  EXPECT_EQ(hot + miss, 200);
+  EXPECT_NEAR(static_cast<double>(hot) / 200.0, GetParam(), 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, HitRatioSweep,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8, 1.0));
+
+TEST(LoadSimTest, ConcurrentClientsAllMeasured) {
+  std::mutex mu;
+  int fetches = 0;
+  LoadConfig config;
+  config.concurrency = 4;
+  config.requests_per_client = 25;
+  config.hot_set_size = 2;
+  LoadReport report = run_load(config, [&](int, const std::string&) {
+    std::lock_guard lock(mu);
+    ++fetches;
+  });
+  EXPECT_EQ(fetches, 2 + 4 + 4 * 25);  // hot set + per-client warmups
+  EXPECT_EQ(report.requests, 100u);
+  EXPECT_EQ(report.latency.count(), 100u);
+}
+
+TEST(LoadSimTest, LatencyReflectsFetchCost) {
+  LoadConfig config;
+  config.requests_per_client = 10;
+  LoadReport report = run_load(config, [&](int, const std::string&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  });
+  EXPECT_GE(report.mean_response_ms(), 2.0);
+  EXPECT_LT(report.throughput_rps, 500.0);
+}
+
+TEST(LoadSimTest, RejectsInvalidConfig) {
+  PageFetcher nop = [](int, const std::string&) {};
+  LoadConfig bad;
+  bad.concurrency = 0;
+  EXPECT_THROW(run_load(bad, nop), Error);
+  bad = LoadConfig{};
+  bad.hit_ratio = 1.5;
+  EXPECT_THROW(run_load(bad, nop), Error);
+  bad = LoadConfig{};
+  bad.hot_set_size = 0;
+  EXPECT_THROW(run_load(bad, nop), Error);
+}
+
+TEST(LoadSimTest, SeedVariesQueryNames) {
+  std::set<std::string> q1, q2;
+  LoadConfig config;
+  config.requests_per_client = 10;
+  config.hit_ratio = 1.0;
+  config.seed = 1;
+  run_load(config, [&](int, const std::string& q) { q1.insert(q); });
+  config.seed = 2;
+  run_load(config, [&](int, const std::string& q) { q2.insert(q); });
+  for (const auto& q : q1) EXPECT_EQ(q2.count(q), 0u) << q;
+}
+
+}  // namespace
+}  // namespace wsc::portal

@@ -1,0 +1,62 @@
+#include "portal/query_string.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wsc::portal {
+namespace {
+
+TEST(UrlCodecTest, EncodeKeepsUnreserved) {
+  EXPECT_EQ(url_encode("AZaz09-._~"), "AZaz09-._~");
+}
+
+TEST(UrlCodecTest, EncodeEscapesReserved) {
+  EXPECT_EQ(url_encode("a b&c=d/e?f"), "a%20b%26c%3Dd%2Fe%3Ff");
+}
+
+TEST(UrlCodecTest, DecodePercentAndPlus) {
+  EXPECT_EQ(url_decode("a%20b+c"), "a b c");
+  EXPECT_EQ(url_decode("%41%42"), "AB");
+  EXPECT_EQ(url_decode("%e2%82%ac"), "\xE2\x82\xAC");  // lowercase hex ok
+}
+
+TEST(UrlCodecTest, RoundTrip) {
+  for (const char* s : {"hello world", "q=a&b", "100% legit", "ümläut"}) {
+    EXPECT_EQ(url_decode(url_encode(s)), s) << s;
+  }
+}
+
+TEST(UrlCodecTest, DecodeRejectsMalformed) {
+  EXPECT_THROW(url_decode("%"), ParseError);
+  EXPECT_THROW(url_decode("%2"), ParseError);
+  EXPECT_THROW(url_decode("%zz"), ParseError);
+}
+
+TEST(ParseTargetTest, PathOnly) {
+  ParsedTarget t = parse_target("/portal");
+  EXPECT_EQ(t.path, "/portal");
+  EXPECT_TRUE(t.query.empty());
+}
+
+TEST(ParseTargetTest, QueryPairsDecoded) {
+  ParsedTarget t = parse_target("/portal?q=web%20services&page=2");
+  EXPECT_EQ(t.path, "/portal");
+  EXPECT_EQ(t.query["q"], "web services");
+  EXPECT_EQ(t.query["page"], "2");
+}
+
+TEST(ParseTargetTest, ValuelessKeysAndEmptySegments) {
+  ParsedTarget t = parse_target("/p?flag&&x=1");
+  EXPECT_EQ(t.query.count("flag"), 1u);
+  EXPECT_EQ(t.query["flag"], "");
+  EXPECT_EQ(t.query["x"], "1");
+}
+
+TEST(ParseTargetTest, EncodedKeyDecoded) {
+  ParsedTarget t = parse_target("/p?my%20key=v");
+  EXPECT_EQ(t.query["my key"], "v");
+}
+
+}  // namespace
+}  // namespace wsc::portal

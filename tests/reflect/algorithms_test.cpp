@@ -1,0 +1,219 @@
+#include "reflect/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/reflect/test_types.hpp"
+#include "util/error.hpp"
+
+namespace wsc::reflect {
+namespace {
+
+using testing::ensure_test_types;
+using testing::NoClone;
+using testing::Opaque;
+using testing::Point;
+using testing::Polygon;
+using testing::sample_polygon;
+using testing::Token;
+
+struct AlgorithmsFixture : ::testing::Test {
+  void SetUp() override { ensure_test_types(); }
+};
+
+// --- deep_copy ("copy by reflection") ----------------------------------------
+
+TEST_F(AlgorithmsFixture, DeepCopyProducesEqualIndependentObject) {
+  Object original = Object::make(sample_polygon());
+  Object copy = deep_copy(original);
+  EXPECT_TRUE(deep_equals(original, copy));
+  EXPECT_NE(original.data(), copy.data());
+
+  // §3.1: mutating the copy must not touch the original.
+  copy.as<Polygon>().points[0].label = "MUTATED";
+  copy.as<Polygon>().tags.push_back("new");
+  EXPECT_EQ(original.as<Polygon>().points[0].label, "origin");
+  EXPECT_EQ(original.as<Polygon>().tags.size(), 2u);
+}
+
+TEST_F(AlgorithmsFixture, DeepCopyOfPrimitive) {
+  Object s = Object::make(std::string("hello"));
+  Object copy = deep_copy(s);
+  EXPECT_EQ(copy.as<std::string>(), "hello");
+  EXPECT_NE(s.data(), copy.data());
+}
+
+TEST_F(AlgorithmsFixture, DeepCopyOfBytes) {
+  Object b = Object::make(std::vector<std::uint8_t>{1, 2, 3});
+  Object copy = deep_copy(b);
+  copy.as<std::vector<std::uint8_t>>()[0] = 99;
+  EXPECT_EQ(b.as<std::vector<std::uint8_t>>()[0], 1);
+}
+
+TEST_F(AlgorithmsFixture, DeepCopyOfArrayOfStructs) {
+  std::vector<Point> v{{1, 2, "a"}, {3, 4, "b"}};
+  Object arr = Object::make(v);
+  Object copy = deep_copy(arr);
+  copy.as<std::vector<Point>>()[1].label = "changed";
+  EXPECT_EQ(arr.as<std::vector<Point>>()[1].label, "b");
+}
+
+TEST_F(AlgorithmsFixture, DeepCopyRejectsNonBean) {
+  Object o = Object::make(Opaque{"s3cret"});
+  EXPECT_THROW(deep_copy(o), SerializationError);
+}
+
+TEST_F(AlgorithmsFixture, DeepCopyOfNullIsNull) {
+  EXPECT_TRUE(deep_copy(Object{}).is_null());
+}
+
+TEST_F(AlgorithmsFixture, SupportsReflectionCopyRules) {
+  EXPECT_TRUE(supports_reflection_copy(type_of<Polygon>()));          // bean
+  EXPECT_TRUE(supports_reflection_copy(type_of<std::vector<Point>>()));  // array
+  EXPECT_TRUE(supports_reflection_copy(type_of<std::vector<std::uint8_t>>()));  // byte[]
+  EXPECT_FALSE(supports_reflection_copy(type_of<std::string>()));     // Table 7: n/a
+  EXPECT_FALSE(supports_reflection_copy(type_of<Opaque>()));
+}
+
+// --- clone ("copy by clone") --------------------------------------------------
+
+TEST_F(AlgorithmsFixture, CloneProducesEqualIndependentObject) {
+  Object original = Object::make(sample_polygon());
+  Object cloned = clone(original);
+  EXPECT_TRUE(deep_equals(original, cloned));
+  cloned.as<Polygon>().name = "changed";
+  EXPECT_EQ(original.as<Polygon>().name, "triangle");
+}
+
+TEST_F(AlgorithmsFixture, CloneRequiresCloneableTrait) {
+  Object o = Object::make(NoClone{"data"});
+  EXPECT_THROW(clone(o), SerializationError);
+  EXPECT_THROW(clone(Object::make(std::string("s"))), SerializationError);
+}
+
+TEST_F(AlgorithmsFixture, CloneOfArray) {
+  Object arr = Object::make(std::vector<Point>{{1, 1, "p"}});
+  Object cloned = clone(arr);  // arrays are always cloneable
+  cloned.as<std::vector<Point>>()[0].x = 9;
+  EXPECT_EQ(arr.as<std::vector<Point>>()[0].x, 1);
+}
+
+// --- deep_equals ---------------------------------------------------------------
+
+TEST_F(AlgorithmsFixture, DeepEqualsComparesStructurally) {
+  Object a = Object::make(sample_polygon());
+  Object b = Object::make(sample_polygon());
+  EXPECT_TRUE(deep_equals(a, b));
+  b.as<Polygon>().points[2].y = 11;
+  EXPECT_FALSE(deep_equals(a, b));
+}
+
+TEST_F(AlgorithmsFixture, DeepEqualsNullHandling) {
+  EXPECT_TRUE(deep_equals(Object{}, Object{}));
+  EXPECT_FALSE(deep_equals(Object{}, Object::make(1)));
+}
+
+TEST_F(AlgorithmsFixture, DeepEqualsDifferentTypesNotEqual) {
+  EXPECT_FALSE(deep_equals(Object::make(std::string("1")),
+                           Object::make(std::int32_t{1})));
+}
+
+TEST_F(AlgorithmsFixture, DeepEqualsArrayLengthMismatch) {
+  Object a = Object::make(std::vector<std::string>{"x"});
+  Object b = Object::make(std::vector<std::string>{"x", "y"});
+  EXPECT_FALSE(deep_equals(a, b));
+}
+
+// --- to_string (cache keys) ----------------------------------------------------
+
+TEST_F(AlgorithmsFixture, PrimitivesToString) {
+  EXPECT_EQ(to_string(Object::make(true)), "true");
+  EXPECT_EQ(to_string(Object::make(std::int32_t{-5})), "-5");
+  EXPECT_EQ(to_string(Object::make(std::int64_t{1} << 40)), "1099511627776");
+  EXPECT_EQ(to_string(Object::make(2.5)), "2.5");
+  EXPECT_EQ(to_string(Object::make(std::string("raw"))), "raw");
+  EXPECT_EQ(to_string(Object{}), "null");
+}
+
+TEST_F(AlgorithmsFixture, BeanToStringIsReflective) {
+  std::string s = to_string(Object::make(Point{1, 2, "p"}));
+  EXPECT_EQ(s, "test.Point{x=1,y=2,label=p}");
+}
+
+TEST_F(AlgorithmsFixture, ArrayToString) {
+  EXPECT_EQ(to_string(Object::make(std::vector<std::string>{"a", "b"})),
+            "[a,b]");
+}
+
+TEST_F(AlgorithmsFixture, CustomToStringWins) {
+  EXPECT_EQ(to_string(Object::make(Token{"t1"})), "Token(t1)");
+}
+
+TEST_F(AlgorithmsFixture, BytesHaveNoUsableToString) {
+  // Java byte[].toString() is address-based: unusable for keys.
+  EXPECT_THROW(to_string(Object::make(std::vector<std::uint8_t>{1})),
+               SerializationError);
+}
+
+TEST_F(AlgorithmsFixture, NonBeanWithoutToStringThrows) {
+  EXPECT_THROW(to_string(Object::make(Opaque{"x"})), SerializationError);
+}
+
+TEST_F(AlgorithmsFixture, EqualObjectsSameToString) {
+  Object a = Object::make(sample_polygon());
+  Object b = Object::make(sample_polygon());
+  EXPECT_EQ(to_string(a), to_string(b));
+}
+
+// --- memory_size ---------------------------------------------------------------
+
+TEST_F(AlgorithmsFixture, MemorySizeIncludesOwnedHeap) {
+  Object small = Object::make(std::string("ab"));
+  Object large = Object::make(std::string(10'000, 'x'));
+  EXPECT_GT(memory_size(large), memory_size(small) + 9'000);
+}
+
+TEST_F(AlgorithmsFixture, MemorySizeOfStructAtLeastShallow) {
+  Object p = Object::make(sample_polygon());
+  EXPECT_GE(memory_size(p), sizeof(Polygon));
+}
+
+TEST_F(AlgorithmsFixture, MemorySizeGrowsWithArrayElements) {
+  std::vector<Point> few(2), many(200);
+  EXPECT_GT(memory_size(Object::make(many)), memory_size(Object::make(few)));
+}
+
+TEST_F(AlgorithmsFixture, NullMemorySizeIsZero) {
+  EXPECT_EQ(memory_size(Object{}), 0u);
+}
+
+// --- Object handle -------------------------------------------------------------
+
+TEST_F(AlgorithmsFixture, ObjectTypedAccessChecked) {
+  Object p = Object::make(Point{1, 2, "x"});
+  EXPECT_EQ(p.as<Point>().x, 1);
+  EXPECT_THROW(p.as<Polygon>(), ReflectionError);
+  EXPECT_THROW(Object{}.as<Point>(), ReflectionError);
+}
+
+TEST_F(AlgorithmsFixture, ObjectCopiesShareStorage) {
+  Object a = Object::make(Point{1, 2, "x"});
+  Object b = a;  // shallow handle copy: shares storage (the §3.1 hazard)
+  b.as<Point>().x = 42;
+  EXPECT_EQ(a.as<Point>().x, 42);
+  EXPECT_EQ(a.use_count(), 2);
+}
+
+TEST_F(AlgorithmsFixture, ObjectNullChecks) {
+  Object null;
+  EXPECT_TRUE(null.is_null());
+  EXPECT_FALSE(static_cast<bool>(null));
+  EXPECT_THROW(null.type(), ReflectionError);
+}
+
+TEST_F(AlgorithmsFixture, ObjectRejectsInconsistentConstruction) {
+  EXPECT_THROW(Object(nullptr, &type_of<std::string>()), ReflectionError);
+  EXPECT_THROW(Object(std::make_shared<int>(1), nullptr), ReflectionError);
+}
+
+}  // namespace
+}  // namespace wsc::reflect

@@ -1,0 +1,101 @@
+// Property-based sweeps: for randomly generated object trees, the
+// representation-changing operations must preserve structural equality and
+// produce storage-independent results.
+#include <gtest/gtest.h>
+
+#include "reflect/algorithms.hpp"
+#include "reflect/serialize.hpp"
+#include "tests/reflect/test_types.hpp"
+#include "util/random.hpp"
+
+namespace wsc::reflect {
+namespace {
+
+using testing::ensure_test_types;
+using testing::Point;
+using testing::Polygon;
+
+Polygon random_polygon(util::Rng& rng) {
+  Polygon p;
+  p.name = rng.next_word(0 + 1, 20);
+  p.weight = rng.next_double() * 100 - 50;
+  p.closed = rng.next_bool();
+  std::size_t npoints = rng.next_below(12);
+  for (std::size_t i = 0; i < npoints; ++i) {
+    Point pt;
+    pt.x = static_cast<std::int32_t>(rng.next_range(-1'000'000, 1'000'000));
+    pt.y = static_cast<std::int32_t>(rng.next_range(INT32_MIN, INT32_MAX));
+    pt.label = rng.next_bool(0.2) ? "" : rng.next_sentence(1 + rng.next_below(4));
+    p.points.push_back(std::move(pt));
+  }
+  std::size_t ntags = rng.next_below(5);
+  for (std::size_t i = 0; i < ntags; ++i) p.tags.push_back(rng.next_word(1, 30));
+  return p;
+}
+
+class RoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override { ensure_test_types(); }
+};
+
+TEST_P(RoundTripProperty, SerializeDeserializePreservesEquality) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    Object o = Object::make(random_polygon(rng));
+    Object back = deserialize(serialize(o));
+    EXPECT_TRUE(deep_equals(o, back));
+  }
+}
+
+TEST_P(RoundTripProperty, DeepCopyEqualAndIndependent) {
+  util::Rng rng(GetParam() ^ 0xD5);
+  for (int i = 0; i < 20; ++i) {
+    Object o = Object::make(random_polygon(rng));
+    Object copy = deep_copy(o);
+    ASSERT_TRUE(deep_equals(o, copy));
+    // Mutate every mutable region of the copy; the original must not move.
+    Polygon snapshot = o.as<Polygon>();
+    Polygon& c = copy.as<Polygon>();
+    c.name += "!";
+    c.weight += 1;
+    for (auto& pt : c.points) pt.x ^= 1;
+    c.tags.emplace_back("extra");
+    EXPECT_TRUE(deep_equals(o, Object::make(snapshot)));
+  }
+}
+
+TEST_P(RoundTripProperty, CloneMatchesDeepCopy) {
+  util::Rng rng(GetParam() ^ 0xC10);
+  for (int i = 0; i < 20; ++i) {
+    Object o = Object::make(random_polygon(rng));
+    EXPECT_TRUE(deep_equals(clone(o), deep_copy(o)));
+  }
+}
+
+TEST_P(RoundTripProperty, ToStringIsAFunctionOfValue) {
+  util::Rng rng(GetParam() ^ 0x70);
+  for (int i = 0; i < 20; ++i) {
+    Polygon p = random_polygon(rng);
+    Object a = Object::make(p);
+    Object b = Object::make(p);
+    EXPECT_EQ(to_string(a), to_string(b));
+    // And distinguishes different values (with overwhelming probability).
+    Polygon q = p;
+    q.weight += 1.0;
+    EXPECT_NE(to_string(Object::make(q)), to_string(a));
+  }
+}
+
+TEST_P(RoundTripProperty, SerializationIsCanonical) {
+  util::Rng rng(GetParam() ^ 0x5E);
+  for (int i = 0; i < 20; ++i) {
+    Polygon p = random_polygon(rng);
+    EXPECT_EQ(serialize(Object::make(p)), serialize(Object::make(p)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace wsc::reflect

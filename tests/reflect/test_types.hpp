@@ -1,0 +1,124 @@
+// Shared registered types for reflect/soap/core tests.  Registration is
+// process-global, so every test TU funnels through these ensure-functions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "reflect/builder.hpp"
+
+namespace wsc::reflect::testing {
+
+/// Fully-featured bean: serializable + cloneable + reflectable.
+struct Point {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  std::string label;
+
+  bool operator==(const Point&) const = default;
+};
+
+/// Nested bean with arrays, for deep-copy / roundtrip coverage.
+struct Polygon {
+  std::string name;
+  std::vector<Point> points;
+  std::vector<std::string> tags;
+  double weight = 0.0;
+  bool closed = false;
+
+  bool operator==(const Polygon&) const = default;
+};
+
+/// Serializable + bean but NOT cloneable (clone must fail).
+struct NoClone {
+  std::string payload;
+
+  bool operator==(const NoClone&) const = default;
+};
+
+/// Bean + cloneable but NOT serializable (binary serialization must fail).
+struct NoSerialize {
+  std::int64_t ticket = 0;
+
+  bool operator==(const NoSerialize&) const = default;
+};
+
+/// Application-specific opaque type: no bean accessors, no clone, not
+/// serializable, no custom toString — only XML/SAX representations apply.
+struct Opaque {
+  std::string secret;
+
+  bool operator==(const Opaque&) const = default;
+};
+
+/// Struct declared serializable whose FIELD type is not — deep
+/// serializability must detect this (the Java runtime-exception case).
+struct Wrapper {
+  NoSerialize inner;
+  std::string note;
+
+  bool operator==(const Wrapper&) const = default;
+};
+
+/// Immutable value type: pass-by-reference eligible.
+struct Token {
+  std::string value;
+
+  bool operator==(const Token&) const = default;
+};
+
+inline void ensure_test_types() {
+  static const bool done = [] {
+    StructBuilder<Point>("test.Point")
+        .field("x", &Point::x)
+        .field("y", &Point::y)
+        .field("label", &Point::label)
+        .serializable()
+        .cloneable()
+        .register_type();
+    StructBuilder<Polygon>("test.Polygon")
+        .field("name", &Polygon::name)
+        .field("points", &Polygon::points)
+        .field("tags", &Polygon::tags)
+        .field("weight", &Polygon::weight)
+        .field("closed", &Polygon::closed)
+        .serializable()
+        .cloneable()
+        .register_type();
+    StructBuilder<NoClone>("test.NoClone")
+        .field("payload", &NoClone::payload)
+        .serializable()
+        .register_type();
+    StructBuilder<NoSerialize>("test.NoSerialize")
+        .field("ticket", &NoSerialize::ticket)
+        .cloneable()
+        .register_type();
+    StructBuilder<Opaque>("test.Opaque").not_bean().register_type();
+    StructBuilder<Wrapper>("test.Wrapper")
+        .field("inner", &Wrapper::inner)
+        .field("note", &Wrapper::note)
+        .serializable()
+        .register_type();
+    StructBuilder<Token>("test.Token")
+        .field("value", &Token::value)
+        .serializable()
+        .immutable()
+        .to_string([](const Token& t) { return "Token(" + t.value + ")"; })
+        .register_type();
+    return true;
+  }();
+  (void)done;
+}
+
+inline Polygon sample_polygon() {
+  Polygon p;
+  p.name = "triangle";
+  p.points = {{0, 0, "origin"}, {10, 0, "east"}, {0, 10, "north"}};
+  p.tags = {"convex", "small"};
+  p.weight = 2.5;
+  p.closed = true;
+  return p;
+}
+
+}  // namespace wsc::reflect::testing

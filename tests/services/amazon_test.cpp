@@ -1,0 +1,170 @@
+// Amazon service: the Table-1 cache-policy demonstration.  Search
+// operations cache safely; cart operations MUST bypass the cache or the
+// application observes stale carts.
+#include "services/amazon/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "reflect/algorithms.hpp"
+#include "transport/inproc_transport.hpp"
+
+namespace wsc::services::amazon {
+namespace {
+
+using reflect::Object;
+using soap::Parameter;
+
+constexpr const char* kEndpoint = "inproc://amazon/api";
+
+struct AmazonFixture : ::testing::Test {
+  void SetUp() override {
+    backend = std::make_shared<AmazonBackend>();
+    transport = std::make_shared<transport::InProcessTransport>();
+    transport->bind(kEndpoint, make_amazon_service(backend));
+  }
+
+  cache::CachingServiceClient make_client(cache::CachePolicy policy) {
+    cache::CachingServiceClient::Options options;
+    options.policy = std::move(policy);
+    return cache::CachingServiceClient(transport, amazon_description(),
+                                       kEndpoint,
+                                       std::make_shared<cache::ResponseCache>(),
+                                       options);
+  }
+
+  static std::vector<Parameter> search_params(const std::string& q) {
+    return {{"key", Object::make(std::string("k"))},
+            {"query", Object::make(q)},
+            {"page", Object::make(std::int32_t{1})}};
+  }
+
+  static std::vector<Parameter> cart_params(const std::string& id) {
+    return {{"cartId", Object::make(id)}};
+  }
+
+  std::shared_ptr<AmazonBackend> backend;
+  std::shared_ptr<transport::InProcessTransport> transport;
+};
+
+TEST_F(AmazonFixture, Table1OperationInventory) {
+  EXPECT_EQ(search_operations().size(), 20u);
+  EXPECT_EQ(cart_operations().size(), 6u);
+  auto desc = amazon_description();
+  EXPECT_EQ(desc->operations().size(), 26u);
+  for (const auto& op : search_operations())
+    EXPECT_NE(desc->operation(op), nullptr) << op;
+  for (const auto& op : cart_operations())
+    EXPECT_NE(desc->operation(op), nullptr) << op;
+}
+
+TEST_F(AmazonFixture, DefaultPolicyMatchesPaper) {
+  cache::CachePolicy policy = default_amazon_policy();
+  for (const auto& op : search_operations())
+    EXPECT_TRUE(policy.lookup(op).cacheable) << op;
+  for (const auto& op : cart_operations())
+    EXPECT_FALSE(policy.lookup(op).cacheable) << op;
+}
+
+TEST_F(AmazonFixture, SearchesAreDeterministicAndCacheable) {
+  auto client = make_client(default_amazon_policy());
+  Object a = client.invoke("KeywordSearch", search_params("book"));
+  Object b = client.invoke("KeywordSearch", search_params("book"));
+  EXPECT_TRUE(reflect::deep_equals(a, b));
+  EXPECT_EQ(client.cache().stats().hits, 1u);
+}
+
+TEST_F(AmazonFixture, EverySearchOperationWorksThroughTheStack) {
+  auto client = make_client(default_amazon_policy());
+  for (const auto& op : search_operations()) {
+    Object result = client.invoke(op, search_params("query-for-" + op));
+    const auto& r = result.as<AmazonSearchResult>();
+    EXPECT_GT(r.totalResults, 0) << op;
+    EXPECT_FALSE(r.products.empty()) << op;
+  }
+}
+
+TEST_F(AmazonFixture, CartLifecycleThroughSoap) {
+  auto client = make_client(default_amazon_policy());
+  auto add = [&](const std::string& asin, int qty) {
+    return client.invoke("AddShoppingCartItems",
+                         {{"cartId", Object::make(std::string("c1"))},
+                          {"asin", Object::make(asin)},
+                          {"quantity", Object::make(std::int32_t{qty})}});
+  };
+  add("B000000001", 2);
+  Object cart_obj = add("B000000002", 1);
+  const auto& cart = cart_obj.as<ShoppingCart>();
+  EXPECT_EQ(cart.items.size(), 2u);
+  EXPECT_GT(cart.subtotal, 0.0);
+
+  client.invoke("RemoveShoppingCartItems",
+                {{"cartId", Object::make(std::string("c1"))},
+                 {"asin", Object::make(std::string("B000000001"))}});
+  Object after = client.invoke("GetShoppingCart", cart_params("c1"));
+  EXPECT_EQ(after.as<ShoppingCart>().items.size(), 1u);
+
+  client.invoke("ClearShoppingCart", cart_params("c1"));
+  Object cleared = client.invoke("GetShoppingCart", cart_params("c1"));
+  EXPECT_TRUE(cleared.as<ShoppingCart>().items.empty());
+}
+
+TEST_F(AmazonFixture, CachingCartReadsObservesStaleState) {
+  // Misconfiguration demo: an administrator who marks GetShoppingCart
+  // cacheable gets exactly the §3.2 consistency failure.
+  cache::CachePolicy bad = default_amazon_policy();
+  bad.cacheable("GetShoppingCart");
+  auto client = make_client(bad);
+
+  client.invoke("GetShoppingCart", cart_params("c2"));  // caches empty cart
+  client.invoke("AddShoppingCartItems",
+                {{"cartId", Object::make(std::string("c2"))},
+                 {"asin", Object::make(std::string("B000000009"))},
+                 {"quantity", Object::make(std::int32_t{1})}});
+  Object stale = client.invoke("GetShoppingCart", cart_params("c2"));
+  EXPECT_TRUE(stale.as<ShoppingCart>().items.empty()) << "served stale cart";
+
+  // With the paper's policy the same sequence is correct.
+  auto good_client = make_client(default_amazon_policy());
+  good_client.invoke("GetShoppingCart", cart_params("c3"));
+  good_client.invoke("AddShoppingCartItems",
+                     {{"cartId", Object::make(std::string("c3"))},
+                      {"asin", Object::make(std::string("B000000009"))},
+                      {"quantity", Object::make(std::int32_t{1})}});
+  Object fresh = good_client.invoke("GetShoppingCart", cart_params("c3"));
+  EXPECT_EQ(fresh.as<ShoppingCart>().items.size(), 1u);
+}
+
+TEST_F(AmazonFixture, ModifyAndZeroQuantityRemoves) {
+  backend->add_items("m1", "A", 2);
+  ShoppingCart cart = backend->modify_items("m1", "A", 5);
+  EXPECT_EQ(cart.items[0].quantity, 5);
+  cart = backend->modify_items("m1", "A", 0);
+  EXPECT_TRUE(cart.items.empty());
+}
+
+TEST_F(AmazonFixture, AddMergesDuplicateAsins) {
+  backend->add_items("m2", "A", 1);
+  ShoppingCart cart = backend->add_items("m2", "A", 3);
+  ASSERT_EQ(cart.items.size(), 1u);
+  EXPECT_EQ(cart.items[0].quantity, 4);
+}
+
+TEST_F(AmazonFixture, SubtotalTracksContents) {
+  ShoppingCart cart = backend->add_items("m3", "A", 2);
+  double unit = cart.items[0].unitPrice;
+  EXPECT_DOUBLE_EQ(cart.subtotal, unit * 2);
+  cart = backend->clear_cart("m3");
+  EXPECT_DOUBLE_EQ(cart.subtotal, 0.0);
+}
+
+TEST_F(AmazonFixture, TransactionDetailsDeterministic) {
+  auto client = make_client(default_amazon_policy());
+  Object a = client.invoke("GetTransactionDetails",
+                           {{"transactionId", Object::make(std::string("t9"))}});
+  EXPECT_EQ(a.as<TransactionDetails>().transactionId, "t9");
+  EXPECT_GT(a.as<TransactionDetails>().total, 0.0);
+}
+
+}  // namespace
+}  // namespace wsc::services::amazon

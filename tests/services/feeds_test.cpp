@@ -1,0 +1,120 @@
+// Quote + news backends: per-service TTL configuration on one shared
+// cache — the paper-intro portal's backend mix.
+#include <gtest/gtest.h>
+
+#include "core/client.hpp"
+#include "reflect/algorithms.hpp"
+#include "services/news/service.hpp"
+#include "services/quotes/service.hpp"
+#include "transport/inproc_transport.hpp"
+
+namespace wsc::services {
+namespace {
+
+using reflect::Object;
+using soap::Parameter;
+
+TEST(QuotesServiceTest, ContractShape) {
+  auto desc = quotes::quotes_description();
+  EXPECT_EQ(desc->operations().size(), 2u);
+  EXPECT_EQ(desc->require_operation("GetQuote").result_type,
+            &reflect::type_of<quotes::Quote>());
+}
+
+TEST(QuotesServiceTest, DeterministicUntilTick) {
+  quotes::QuoteBackend backend;
+  quotes::Quote a = backend.quote("IBM");
+  quotes::Quote b = backend.quote("IBM");
+  EXPECT_EQ(a, b);
+  EXPECT_GT(a.last, 0.0);
+  backend.tick();
+  EXPECT_NE(backend.quote("IBM"), a);
+  EXPECT_NE(backend.quote("IBM").symbol, "");
+}
+
+TEST(QuotesServiceTest, BatchSplitsCsv) {
+  quotes::QuoteBackend backend;
+  quotes::QuoteBatch batch = backend.quotes("IBM, MSFT ,GOOG,,");
+  ASSERT_EQ(batch.quotes.size(), 3u);
+  EXPECT_EQ(batch.quotes[1].symbol, "MSFT");
+}
+
+TEST(NewsServiceTest, FeedShapeAndEditioning) {
+  news::NewsBackend backend;
+  news::NewsFeed feed = backend.top_headlines("caching", 7);
+  EXPECT_EQ(feed.topic, "caching");
+  EXPECT_EQ(feed.headlines.size(), 7u);
+  EXPECT_EQ(feed, backend.top_headlines("caching", 7));
+  backend.publish();
+  EXPECT_NE(feed, backend.top_headlines("caching", 7));
+  // Count clamping.
+  EXPECT_TRUE(backend.top_headlines("x", -3).headlines.empty());
+  EXPECT_EQ(backend.top_headlines("x", 999).headlines.size(), 50u);
+}
+
+TEST(FeedsIntegrationTest, PerServiceTtlsOnOneSharedCache) {
+  // Quote entries must expire fast while news entries live on — exactly
+  // the §3.2 "depends on the service's semantics" configuration.
+  auto clock = std::make_shared<util::ManualClock>();
+  auto shared_cache = std::make_shared<cache::ResponseCache>(
+      cache::ResponseCache::Config{}, *clock);
+  auto transport = std::make_shared<transport::InProcessTransport>();
+  auto quote_backend = std::make_shared<quotes::QuoteBackend>();
+  auto news_backend = std::make_shared<news::NewsBackend>();
+  transport->bind("inproc://svc/quotes", quotes::make_quotes_service(quote_backend));
+  transport->bind("inproc://svc/news", news::make_news_service(news_backend));
+
+  cache::CachingServiceClient::Options quote_options;
+  quote_options.policy = quotes::default_quotes_policy(std::chrono::seconds(5));
+  cache::CachingServiceClient quote_client(transport, quotes::quotes_description(),
+                                           "inproc://svc/quotes", shared_cache,
+                                           quote_options);
+  cache::CachingServiceClient::Options news_options;
+  news_options.policy = news::default_news_policy(std::chrono::minutes(5));
+  cache::CachingServiceClient news_client(transport, news::news_description(),
+                                          "inproc://svc/news", shared_cache,
+                                          news_options);
+
+  auto get_quote = [&] {
+    return quote_client.invoke("GetQuote",
+                               {{"symbol", Object::make(std::string("IBM"))}});
+  };
+  auto get_news = [&] {
+    return news_client.invoke("TopHeadlines",
+                              {{"topic", Object::make(std::string("tech"))},
+                               {"count", Object::make(std::int32_t{5})}});
+  };
+
+  Object quote1 = get_quote();
+  Object news1 = get_news();
+  EXPECT_EQ(shared_cache->entry_count(), 2u);
+
+  // Source data changes; within TTLs both reads stay cached (stale quotes
+  // for up to 5s is the administrator's accepted staleness).
+  quote_backend->tick();
+  news_backend->publish();
+  EXPECT_TRUE(reflect::deep_equals(get_quote(), quote1));
+  EXPECT_TRUE(reflect::deep_equals(get_news(), news1));
+
+  // After 10 s the quote entry expired but the news entry has not.
+  clock->advance(std::chrono::seconds(10));
+  EXPECT_FALSE(reflect::deep_equals(get_quote(), quote1));
+  EXPECT_TRUE(reflect::deep_equals(get_news(), news1));
+
+  // After 10 min the news expires too.
+  clock->advance(std::chrono::minutes(10));
+  EXPECT_FALSE(reflect::deep_equals(get_news(), news1));
+}
+
+TEST(FeedsIntegrationTest, AutoRepresentationForFeedTypes) {
+  // Both result types are generated-style beans: §6 picks reflection copy.
+  quotes::ensure_quote_types();
+  news::ensure_news_types();
+  EXPECT_EQ(cache::auto_select(reflect::type_of<quotes::Quote>(), false),
+            cache::Representation::ReflectionCopy);
+  EXPECT_EQ(cache::auto_select(reflect::type_of<news::NewsFeed>(), false),
+            cache::Representation::ReflectionCopy);
+}
+
+}  // namespace
+}  // namespace wsc::services

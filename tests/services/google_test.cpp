@@ -1,0 +1,180 @@
+// Dummy Google service: Table 5 contract shapes and deterministic backend.
+#include "services/google/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reflect/algorithms.hpp"
+#include "reflect/serialize.hpp"
+#include "services/google/stub.hpp"
+#include "soap/serializer.hpp"
+#include "transport/inproc_transport.hpp"
+
+namespace wsc::services::google {
+namespace {
+
+using reflect::Object;
+
+TEST(GoogleTypesTest, Table5ShapesMatchPaper) {
+  const reflect::TypeInfo& gsr = ensure_google_types();
+  // "The GoogleSearchResult object has eleven fields."
+  EXPECT_EQ(gsr.fields.size(), 11u);
+  int simple = 0, arrays = 0;
+  for (const auto& f : gsr.fields) {
+    if (f.type->is_array()) ++arrays;
+    if (f.type->is_primitive()) ++simple;
+  }
+  // "Nine fields are simple types ... one field refers to the array of
+  // ResultElement objects and the last field refers to the array of
+  // DirectoryCategory objects."
+  EXPECT_EQ(simple, 9);
+  EXPECT_EQ(arrays, 2);
+
+  // "The ResultElement object has ten fields, nine simple types and one
+  // DirectoryCategory."
+  const reflect::TypeInfo& re = reflect::type_of<ResultElement>();
+  EXPECT_EQ(re.fields.size(), 10u);
+  // "The DirectoryCategory object has two String fields."
+  const reflect::TypeInfo& dc = reflect::type_of<DirectoryCategory>();
+  EXPECT_EQ(dc.fields.size(), 2u);
+  EXPECT_EQ(dc.fields[0].type, &reflect::type_of<std::string>());
+}
+
+TEST(GoogleTypesTest, GeneratedTraits) {
+  const reflect::TypeInfo& gsr = ensure_google_types();
+  // "The generated classes are serializable and bean-type" + added clone.
+  EXPECT_TRUE(gsr.traits.serializable);
+  EXPECT_TRUE(gsr.traits.bean);
+  EXPECT_TRUE(gsr.traits.cloneable);
+  EXPECT_TRUE(gsr.is_deeply_serializable());
+  EXPECT_TRUE(gsr.is_reflectable());
+}
+
+TEST(GoogleDescriptionTest, OperationSignaturesMatchTable5) {
+  auto desc = google_description();
+  const auto& spell = desc->require_operation("doSpellingSuggestion");
+  EXPECT_EQ(spell.params.size(), 2u);  // String x2
+  EXPECT_EQ(spell.result_type, &reflect::type_of<std::string>());
+
+  const auto& page = desc->require_operation("doGetCachedPage");
+  EXPECT_EQ(page.params.size(), 2u);  // String x2
+  EXPECT_EQ(page.result_type, &reflect::type_of<std::vector<std::uint8_t>>());
+
+  const auto& search = desc->require_operation("doGoogleSearch");
+  ASSERT_EQ(search.params.size(), 10u);  // String x6, int x2, boolean x2
+  int strings = 0, ints = 0, bools = 0;
+  for (const auto& p : search.params) {
+    if (p.type == &reflect::type_of<std::string>()) ++strings;
+    if (p.type == &reflect::type_of<std::int32_t>()) ++ints;
+    if (p.type == &reflect::type_of<bool>()) ++bools;
+  }
+  EXPECT_EQ(strings, 6);
+  EXPECT_EQ(ints, 2);
+  EXPECT_EQ(bools, 2);
+  EXPECT_EQ(search.result_type, &reflect::type_of<GoogleSearchResult>());
+}
+
+TEST(GoogleBackendTest, DeterministicResponses) {
+  GoogleBackend backend;
+  EXPECT_EQ(backend.spelling_suggestion("foo bar"),
+            backend.spelling_suggestion("foo bar"));
+  EXPECT_EQ(backend.cached_page("http://a"), backend.cached_page("http://a"));
+  GoogleSearchResult r1 = backend.search("q", 0, 10);
+  GoogleSearchResult r2 = backend.search("q", 0, 10);
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(backend.search("q1", 0, 10), backend.search("q2", 0, 10));
+}
+
+TEST(GoogleBackendTest, SpellingSuggestionTitleCases) {
+  GoogleBackend backend;
+  EXPECT_EQ(backend.spelling_suggestion("web servies caching"),
+            "Web Servies Caching");
+  // Whitespace is normalized: runs collapse, leading space dropped.
+  EXPECT_EQ(backend.spelling_suggestion("  double  spaces "),
+            "Double Spaces ");
+}
+
+TEST(GoogleBackendTest, VersionChangesResponses) {
+  GoogleBackend backend;
+  auto before = backend.search("q", 0, 10);
+  auto page_before = backend.cached_page("u");
+  backend.set_version(1);
+  EXPECT_NE(backend.search("q", 0, 10), before);
+  EXPECT_NE(backend.cached_page("u"), page_before);
+  EXPECT_NE(backend.spelling_suggestion("x").find("rev 1"), std::string::npos);
+}
+
+TEST(GoogleBackendTest, CachedPageSizeConfigurable) {
+  GoogleBackend::Config config;
+  config.cached_page_bytes = 1234;
+  GoogleBackend backend(config);
+  EXPECT_EQ(backend.cached_page("http://x").size(), 1234u);
+}
+
+TEST(GoogleBackendTest, SearchRespectsPaging) {
+  GoogleBackend backend;
+  GoogleSearchResult r = backend.search("q", 20, 5);
+  EXPECT_EQ(r.resultElements.size(), 5u);
+  EXPECT_EQ(r.startIndex, 21);
+  EXPECT_EQ(r.endIndex, 25);
+  EXPECT_EQ(r.resultElements[0].indexInSeries, 21);
+  EXPECT_EQ(backend.search("q", 0, 0).resultElements.size(), 0u);
+  // max_results above the page cap clamps to the configured page size.
+  EXPECT_EQ(backend.search("q", 0, 999).resultElements.size(), 10u);
+}
+
+TEST(GoogleBackendTest, SearchResponseXmlSizeInTable9Ballpark) {
+  // Table 9: GoogleSearch response XML ~5 KB.
+  GoogleBackend backend;
+  auto desc = google_description();
+  std::string xml = soap::serialize_response(
+      desc->require_operation("doGoogleSearch"), "urn:GoogleSearch",
+      Object::make(backend.search("distributed caching", 0, 10)));
+  EXPECT_GT(xml.size(), 3000u);
+  EXPECT_LT(xml.size(), 9000u);
+}
+
+TEST(GoogleBackendTest, CachedPageResponseXmlSizeInTable9Ballpark) {
+  // Table 9: CachedPage response XML ~5.3 KB (Base64 of ~3.6 KB page).
+  GoogleBackend backend;
+  auto desc = google_description();
+  std::string xml = soap::serialize_response(
+      desc->require_operation("doGetCachedPage"), "urn:GoogleSearch",
+      Object::make(backend.cached_page("http://example.com")));
+  EXPECT_GT(xml.size(), 4500u);
+  EXPECT_LT(xml.size(), 6500u);
+}
+
+TEST(GoogleStubTest, TypedCallsThroughMiddleware) {
+  auto backend = std::make_shared<GoogleBackend>();
+  auto transport = std::make_shared<transport::InProcessTransport>();
+  transport->bind("inproc://google/api", make_google_service(backend));
+
+  cache::CachingServiceClient::Options options;
+  options.policy = default_google_policy();
+  GoogleClient client(transport, "inproc://google/api",
+                      std::make_shared<cache::ResponseCache>(), options);
+
+  EXPECT_EQ(client.doSpellingSuggestion("hello world"), "Hello World");
+  EXPECT_EQ(client.doGetCachedPage("http://x").size(), 3600u);
+  GoogleSearchResult r = client.doGoogleSearch("caching");
+  EXPECT_EQ(r.searchQuery, "caching");
+  EXPECT_EQ(r.resultElements.size(), 10u);
+
+  // Second round: all hits.
+  client.doSpellingSuggestion("hello world");
+  client.doGetCachedPage("http://x");
+  client.doGoogleSearch("caching");
+  EXPECT_EQ(client.middleware().cache().stats().hits, 3u);
+}
+
+TEST(GoogleStubTest, DefaultPolicyCoversAllOperations) {
+  cache::CachePolicy policy = default_google_policy();
+  for (const char* op :
+       {"doSpellingSuggestion", "doGetCachedPage", "doGoogleSearch"}) {
+    EXPECT_TRUE(policy.lookup(op).cacheable) << op;
+    EXPECT_EQ(policy.lookup(op).ttl, std::chrono::hours(1)) << op;
+  }
+}
+
+}  // namespace
+}  // namespace wsc::services::google

@@ -1,0 +1,109 @@
+#include "soap/dispatcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "reflect/algorithms.hpp"
+#include "soap/deserializer.hpp"
+#include "soap/serializer.hpp"
+#include "tests/soap/test_service.hpp"
+#include "xml/sax_parser.hpp"
+
+namespace wsc::soap {
+namespace {
+
+using reflect::Object;
+using wsc::soap::testing::make_test_service;
+using wsc::soap::testing::test_description;
+
+std::string request_xml(const std::string& operation,
+                        std::vector<Parameter> params) {
+  RpcRequest r;
+  r.ns = "urn:Test";
+  r.operation = operation;
+  r.params = std::move(params);
+  return serialize_request(r);
+}
+
+TEST(DispatcherTest, DispatchesAndEncodesResult) {
+  auto service = make_test_service();
+  auto result =
+      service->handle(request_xml("echoString", {{"s", Object::make(std::string("hi"))}}));
+  EXPECT_FALSE(result.fault);
+  EXPECT_EQ(result.operation, "echoString");
+
+  Object decoded = read_response(
+      xml::XmlTextSource(result.xml),
+      test_description()->require_operation("echoString"));
+  EXPECT_EQ(decoded.as<std::string>(), "echo:hi");
+}
+
+TEST(DispatcherTest, VoidOperation) {
+  auto service = make_test_service();
+  auto result = service->handle(
+      request_xml("voidOp", {{"x", Object::make(std::int32_t{1})}}));
+  EXPECT_FALSE(result.fault);
+  Object decoded =
+      read_response(xml::XmlTextSource(result.xml),
+                    test_description()->require_operation("voidOp"));
+  EXPECT_TRUE(decoded.is_null());
+}
+
+TEST(DispatcherTest, HandlerExceptionBecomesServerFault) {
+  auto service = make_test_service();
+  auto result = service->handle(
+      request_xml("failOp", {{"msg", Object::make(std::string("nope"))}}));
+  EXPECT_TRUE(result.fault);
+  EXPECT_EQ(result.operation, "failOp");
+  EXPECT_NE(result.xml.find("intentional failure: nope"), std::string::npos);
+  EXPECT_NE(result.xml.find("soapenv:Server"), std::string::npos);
+}
+
+TEST(DispatcherTest, MalformedXmlBecomesClientFault) {
+  auto service = make_test_service();
+  auto result = service->handle("this is not xml");
+  EXPECT_TRUE(result.fault);
+  EXPECT_TRUE(result.operation.empty());
+  EXPECT_NE(result.xml.find("soapenv:Client"), std::string::npos);
+}
+
+TEST(DispatcherTest, UnknownOperationBecomesClientFault) {
+  auto service = make_test_service();
+  std::string doc =
+      "<e:Envelope xmlns:e=\"http://schemas.xmlsoap.org/soap/envelope/\">"
+      "<e:Body><w:ghostOp xmlns:w=\"urn:Test\"/></e:Body></e:Envelope>";
+  auto result = service->handle(doc);
+  EXPECT_TRUE(result.fault);
+}
+
+TEST(DispatcherTest, UnboundOperationBecomesServerFault) {
+  // A contract operation with no implementation attached.
+  auto service = std::make_shared<SoapService>(*test_description());
+  auto result = service->handle(
+      request_xml("echoString", {{"s", Object::make(std::string("x"))}}));
+  EXPECT_TRUE(result.fault);
+  EXPECT_NE(result.xml.find("not bound"), std::string::npos);
+}
+
+TEST(DispatcherTest, BindRejectsUnknownOperation) {
+  auto service = make_test_service();
+  EXPECT_THROW(
+      service->bind("notInContract", [](const std::vector<Parameter>&) {
+        return Object{};
+      }),
+      Error);
+}
+
+TEST(DispatcherTest, FullLoopPreservesComplexPayload) {
+  auto service = make_test_service();
+  Object polygon = Object::make(reflect::testing::sample_polygon());
+  auto result =
+      service->handle(request_xml("echoPolygon", {{"p", polygon}}));
+  ASSERT_FALSE(result.fault);
+  Object decoded =
+      read_response(xml::XmlTextSource(result.xml),
+                    test_description()->require_operation("echoPolygon"));
+  EXPECT_TRUE(reflect::deep_equals(polygon, decoded));
+}
+
+}  // namespace
+}  // namespace wsc::soap

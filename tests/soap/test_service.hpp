@@ -1,0 +1,79 @@
+// Shared in-memory test service for the SOAP-layer tests.
+#pragma once
+
+#include <memory>
+
+#include "reflect/object.hpp"
+#include "soap/dispatcher.hpp"
+#include "tests/reflect/test_types.hpp"
+#include "wsdl/description.hpp"
+
+namespace wsc::soap::testing {
+
+using reflect::testing::ensure_test_types;
+using reflect::testing::Polygon;
+
+inline std::shared_ptr<const wsdl::ServiceDescription> test_description() {
+  static const std::shared_ptr<const wsdl::ServiceDescription> desc = [] {
+    ensure_test_types();
+    auto d = std::make_shared<wsdl::ServiceDescription>("TestService", "urn:Test");
+    const auto& str = reflect::type_of<std::string>();
+    const auto& i32 = reflect::type_of<std::int32_t>();
+
+    wsdl::OperationInfo echo;
+    echo.name = "echoString";
+    echo.params = {{"s", &str}};
+    echo.result_type = &str;
+    d->add_operation(std::move(echo));
+
+    wsdl::OperationInfo echo_poly;
+    echo_poly.name = "echoPolygon";
+    echo_poly.params = {{"p", &reflect::type_of<Polygon>()}};
+    echo_poly.result_type = &reflect::type_of<Polygon>();
+    d->add_operation(std::move(echo_poly));
+
+    wsdl::OperationInfo get_bytes;
+    get_bytes.name = "getBytes";
+    get_bytes.params = {{"n", &i32}};
+    get_bytes.result_type = &reflect::type_of<std::vector<std::uint8_t>>();
+    d->add_operation(std::move(get_bytes));
+
+    wsdl::OperationInfo void_op;
+    void_op.name = "voidOp";
+    void_op.params = {{"x", &i32}};
+    void_op.result_type = nullptr;
+    d->add_operation(std::move(void_op));
+
+    wsdl::OperationInfo fail_op;
+    fail_op.name = "failOp";
+    fail_op.params = {{"msg", &str}};
+    fail_op.result_type = &str;
+    d->add_operation(std::move(fail_op));
+    return d;
+  }();
+  return desc;
+}
+
+inline std::shared_ptr<SoapService> make_test_service() {
+  auto service = std::make_shared<SoapService>(*test_description());
+  service->bind("echoString", [](const std::vector<Parameter>& p) {
+    return reflect::Object::make("echo:" + p.at(0).value.as<std::string>());
+  });
+  service->bind("echoPolygon", [](const std::vector<Parameter>& p) {
+    return reflect::Object::make(p.at(0).value.as<Polygon>());
+  });
+  service->bind("getBytes", [](const std::vector<Parameter>& p) {
+    auto n = static_cast<std::size_t>(p.at(0).value.as<std::int32_t>());
+    std::vector<std::uint8_t> out(n);
+    for (std::size_t i = 0; i < n; ++i) out[i] = static_cast<std::uint8_t>(i);
+    return reflect::Object::make(std::move(out));
+  });
+  service->bind("voidOp",
+                [](const std::vector<Parameter>&) { return reflect::Object{}; });
+  service->bind("failOp", [](const std::vector<Parameter>& p) -> reflect::Object {
+    throw Error("intentional failure: " + p.at(0).value.as<std::string>());
+  });
+  return service;
+}
+
+}  // namespace wsc::soap::testing

@@ -1,0 +1,126 @@
+// Direct ValueReader API tests (the deserializer core), including the
+// children-only multiRef entry points.
+#include "soap/value_reader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/reflect/test_types.hpp"
+#include "util/error.hpp"
+
+namespace wsc::soap {
+namespace {
+
+using reflect::Object;
+using reflect::testing::ensure_test_types;
+using reflect::testing::Point;
+
+xml::QName q(const char* local) { return xml::QName{"", local, local}; }
+
+TEST(ValueReaderTest, PrimitiveFromText) {
+  ValueReader reader(reflect::type_of<std::int32_t>());
+  reader.characters("42");
+  EXPECT_TRUE(reader.end_element(q("n")));
+  EXPECT_EQ(reader.take().as<std::int32_t>(), 42);
+}
+
+TEST(ValueReaderTest, TextDeliveredInChunks) {
+  ValueReader reader(reflect::type_of<std::string>());
+  reader.characters("hello ");
+  reader.characters("world");
+  reader.end_element(q("s"));
+  EXPECT_EQ(reader.take().as<std::string>(), "hello world");
+}
+
+TEST(ValueReaderTest, StructFieldsByName) {
+  ensure_test_types();
+  ValueReader reader(reflect::type_of<Point>());
+  reader.start_element(q("y"), {});
+  reader.characters("7");
+  reader.end_element(q("y"));
+  reader.start_element(q("label"), {});
+  reader.characters("L");
+  reader.end_element(q("label"));
+  EXPECT_TRUE(reader.end_element(q("p")));
+  Point p = reader.take().as<Point>();
+  EXPECT_EQ(p.x, 0);  // unset fields keep defaults
+  EXPECT_EQ(p.y, 7);
+  EXPECT_EQ(p.label, "L");
+}
+
+TEST(ValueReaderTest, TakeBeforeDoneThrows) {
+  ValueReader reader(reflect::type_of<std::string>());
+  EXPECT_THROW(reader.take(), ParseError);
+}
+
+TEST(ValueReaderTest, EventsAfterDoneThrow) {
+  ValueReader reader(reflect::type_of<std::string>());
+  reader.end_element(q("s"));
+  EXPECT_THROW(reader.characters("late"), ParseError);
+  EXPECT_THROW(reader.start_element(q("x"), {}), ParseError);
+  EXPECT_THROW(reader.end_element(q("x")), ParseError);
+}
+
+TEST(ValueReaderTest, FinishRootClosesChildrenOnlyStream) {
+  ensure_test_types();
+  ValueReader reader(reflect::type_of<Point>());
+  reader.start_element(q("x"), {});
+  reader.characters("3");
+  reader.end_element(q("x"));
+  reader.finish_root();  // no enclosing end tag in the stream
+  EXPECT_TRUE(reader.done());
+  EXPECT_EQ(reader.take().as<Point>().x, 3);
+}
+
+TEST(ValueReaderTest, FinishRootWithOpenChildrenThrows) {
+  ensure_test_types();
+  ValueReader reader(reflect::type_of<Point>());
+  reader.start_element(q("x"), {});
+  EXPECT_THROW(reader.finish_root(), ParseError);
+}
+
+TEST(ValueReaderTest, BadPrimitiveTextThrows) {
+  ValueReader reader(reflect::type_of<std::int32_t>());
+  reader.characters("not a number");
+  EXPECT_THROW(reader.end_element(q("n")), ParseError);
+}
+
+TEST(ValueReaderTest, PendingRefTrackedAndBlocksTake) {
+  ensure_test_types();
+  xml::Attributes href_attr{{xml::QName{"", "href", "href"}, "#id9"}};
+  ValueReader reader(reflect::type_of<Point>());
+  reader.begin(href_attr);
+  reader.end_element(q("p"));
+  EXPECT_TRUE(reader.done());
+  EXPECT_TRUE(reader.has_pending());
+  EXPECT_THROW(reader.take(), ParseError);  // unresolved reference
+}
+
+TEST(ValueReaderTest, ResolvePendingFillsSlot) {
+  ensure_test_types();
+  struct FixedResolver final : RefResolver {
+    void fill(const reflect::TypeInfo& type, void* target,
+              std::string_view id) override {
+      ASSERT_EQ(id, "id9");
+      ASSERT_EQ(&type, &reflect::type_of<std::int32_t>());
+      *static_cast<std::int32_t*>(target) = 99;
+    }
+  } resolver;
+
+  xml::Attributes href_attr{{xml::QName{"", "href", "href"}, "#id9"}};
+  ValueReader reader(reflect::type_of<Point>());
+  reader.start_element(q("x"), href_attr);
+  reader.end_element(q("x"));
+  reader.end_element(q("p"));
+  reader.resolve_pending(resolver);
+  EXPECT_FALSE(reader.has_pending());
+  EXPECT_EQ(reader.take().as<Point>().x, 99);
+}
+
+TEST(ValueReaderTest, NonLocalHrefRejected) {
+  ValueReader reader(reflect::type_of<std::string>());
+  xml::Attributes bad{{xml::QName{"", "href", "href"}, "http://x#y"}};
+  EXPECT_THROW(reader.begin(bad), ParseError);
+}
+
+}  // namespace
+}  // namespace wsc::soap

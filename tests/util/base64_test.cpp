@@ -1,0 +1,83 @@
+#include "util/base64.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace wsc::util {
+namespace {
+
+std::vector<std::uint8_t> bytes(std::initializer_list<int> vals) {
+  std::vector<std::uint8_t> out;
+  for (int v : vals) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(Base64Test, EncodesRfc4648Vectors) {
+  EXPECT_EQ(base64_encode(""), "");
+  EXPECT_EQ(base64_encode("f"), "Zg==");
+  EXPECT_EQ(base64_encode("fo"), "Zm8=");
+  EXPECT_EQ(base64_encode("foo"), "Zm9v");
+  EXPECT_EQ(base64_encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(base64_encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodesRfc4648Vectors) {
+  EXPECT_EQ(base64_decode("Zm9vYmFy"),
+            std::vector<std::uint8_t>({'f', 'o', 'o', 'b', 'a', 'r'}));
+  EXPECT_EQ(base64_decode("Zg=="), std::vector<std::uint8_t>({'f'}));
+  EXPECT_TRUE(base64_decode("").empty());
+}
+
+TEST(Base64Test, EncodesAllByteValues) {
+  std::vector<std::uint8_t> all;
+  for (int i = 0; i < 256; ++i) all.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(base64_decode(base64_encode(all)), all);
+}
+
+TEST(Base64Test, DecodeSkipsWhitespace) {
+  EXPECT_EQ(base64_decode("Zm9v\r\nYmFy"),
+            std::vector<std::uint8_t>({'f', 'o', 'o', 'b', 'a', 'r'}));
+  EXPECT_EQ(base64_decode("  Z g = = "), std::vector<std::uint8_t>({'f'}));
+}
+
+TEST(Base64Test, DecodeRejectsInvalidCharacter) {
+  EXPECT_THROW(base64_decode("Zm9v!"), ParseError);
+  EXPECT_THROW(base64_decode("Zm9v\x01"), ParseError);
+}
+
+TEST(Base64Test, DecodeRejectsDataAfterPadding) {
+  EXPECT_THROW(base64_decode("Zg==Zg"), ParseError);
+}
+
+TEST(Base64Test, DecodeRejectsExcessPadding) {
+  EXPECT_THROW(base64_decode("Zg==="), ParseError);
+}
+
+TEST(Base64Test, DecodeRejectsTruncatedQuantum) {
+  // A single leftover symbol carries only 6 bits: not a whole byte.
+  EXPECT_THROW(base64_decode("Z"), ParseError);
+}
+
+TEST(Base64Test, EncodesBinaryWithHighBytes) {
+  EXPECT_EQ(base64_encode(std::span<const std::uint8_t>(bytes({0xFF, 0x00, 0xAB}))),
+            "/wCr");
+  EXPECT_EQ(base64_decode("/wCr"), bytes({0xFF, 0x00, 0xAB}));
+}
+
+class Base64RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Base64RoundTrip, RandomBlocksRoundTrip) {
+  Rng rng(GetParam() * 7919 + 1);
+  std::vector<std::uint8_t> data = rng.next_bytes(GetParam());
+  EXPECT_EQ(base64_decode(base64_encode(data)), data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Base64RoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 63, 64, 65, 255, 256,
+                                           1000, 3600, 65536));
+
+}  // namespace
+}  // namespace wsc::util

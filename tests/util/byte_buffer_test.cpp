@@ -1,0 +1,131 @@
+#include "util/byte_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace wsc::util {
+namespace {
+
+TEST(ByteBufferTest, PrimitivesRoundTrip) {
+  ByteWriter w;
+  w.write_u8(0xAB);
+  w.write_u16(0x1234);
+  w.write_u32(0xDEADBEEF);
+  w.write_u64(0x0123456789ABCDEFULL);
+  w.write_i32(-42);
+  w.write_i64(std::numeric_limits<std::int64_t>::min());
+  w.write_f64(3.14159265358979);
+  w.write_bool(true);
+  w.write_bool(false);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.read_u8(), 0xAB);
+  EXPECT_EQ(r.read_u16(), 0x1234);
+  EXPECT_EQ(r.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.read_u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.read_i32(), -42);
+  EXPECT_EQ(r.read_i64(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_DOUBLE_EQ(r.read_f64(), 3.14159265358979);
+  EXPECT_TRUE(r.read_bool());
+  EXPECT_FALSE(r.read_bool());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(ByteBufferTest, FloatSpecialValuesRoundTrip) {
+  ByteWriter w;
+  w.write_f64(std::numeric_limits<double>::infinity());
+  w.write_f64(-std::numeric_limits<double>::infinity());
+  w.write_f64(std::numeric_limits<double>::quiet_NaN());
+  w.write_f64(-0.0);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.read_f64(), std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.read_f64(), -std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(r.read_f64()));
+  double neg_zero = r.read_f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+}
+
+class VarintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VarintRoundTrip, RoundTrips) {
+  ByteWriter w;
+  w.write_varint(GetParam());
+  ByteReader r(w.data());
+  EXPECT_EQ(r.read_varint(), GetParam());
+  EXPECT_TRUE(r.at_end());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, VarintRoundTrip,
+    ::testing::Values(0ULL, 1ULL, 127ULL, 128ULL, 129ULL, 16383ULL, 16384ULL,
+                      (1ULL << 32) - 1, 1ULL << 32, (1ULL << 56) + 3,
+                      std::numeric_limits<std::uint64_t>::max()));
+
+TEST(ByteBufferTest, VarintEncodingIsMinimalLength) {
+  ByteWriter w;
+  w.write_varint(127);
+  EXPECT_EQ(w.size(), 1u);
+  ByteWriter w2;
+  w2.write_varint(128);
+  EXPECT_EQ(w2.size(), 2u);
+}
+
+TEST(ByteBufferTest, StringsAndBytesRoundTrip) {
+  ByteWriter w;
+  w.write_string("hello \0 world");  // note: literal truncates at NUL
+  w.write_string(std::string("embedded\0nul", 12));
+  w.write_bytes(std::vector<std::uint8_t>{1, 2, 3});
+  ByteReader r(w.data());
+  EXPECT_EQ(r.read_string(), "hello ");
+  EXPECT_EQ(r.read_string(), std::string("embedded\0nul", 12));
+  EXPECT_EQ(r.read_bytes(), (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(ByteBufferTest, UnderflowThrowsParseError) {
+  ByteWriter w;
+  w.write_u16(7);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.read_u8(), 7);
+  EXPECT_THROW(r.read_u32(), ParseError);
+}
+
+TEST(ByteBufferTest, TruncatedStringThrows) {
+  ByteWriter w;
+  w.write_varint(100);  // claims 100 bytes, provides none
+  ByteReader r(w.data());
+  EXPECT_THROW(r.read_string(), ParseError);
+}
+
+TEST(ByteBufferTest, OverlongVarintThrows) {
+  std::vector<std::uint8_t> bad(11, 0x80);  // never terminates within 64 bits
+  ByteReader r(bad);
+  EXPECT_THROW(r.read_varint(), ParseError);
+}
+
+TEST(ByteBufferTest, PositionAndRemainingTrackCursor) {
+  ByteWriter w;
+  w.write_u32(1);
+  w.write_u32(2);
+  ByteReader r(w.data());
+  EXPECT_EQ(r.remaining(), 8u);
+  r.read_u32();
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_FALSE(r.at_end());
+}
+
+TEST(ByteBufferTest, TakeMovesBufferOut) {
+  ByteWriter w;
+  w.append_raw(std::string_view("abc"));
+  std::vector<std::uint8_t> data = w.take();
+  EXPECT_EQ(data.size(), 3u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+}  // namespace
+}  // namespace wsc::util

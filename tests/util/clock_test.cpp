@@ -1,0 +1,56 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace wsc::util {
+namespace {
+
+TEST(ClockTest, SteadyClockAdvances) {
+  const SteadyClock& clock = steady_clock();
+  TimePoint a = clock.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  TimePoint b = clock.now();
+  EXPECT_GT(b, a);
+}
+
+TEST(ClockTest, ManualClockOnlyMovesWhenAdvanced) {
+  ManualClock clock;
+  TimePoint a = clock.now();
+  TimePoint b = clock.now();
+  EXPECT_EQ(a, b);
+  clock.advance(std::chrono::seconds(5));
+  EXPECT_EQ(clock.now() - a, Duration(std::chrono::seconds(5)));
+}
+
+TEST(ClockTest, ManualClockAccumulates) {
+  ManualClock clock;
+  TimePoint start = clock.now();
+  for (int i = 0; i < 10; ++i) clock.advance(std::chrono::milliseconds(100));
+  EXPECT_EQ(clock.now() - start, Duration(std::chrono::seconds(1)));
+}
+
+TEST(ClockTest, ManualClockThreadSafeAdvance) {
+  ManualClock clock;
+  TimePoint start = clock.now();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < 1000; ++i) clock.advance(std::chrono::nanoseconds(1));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ((clock.now() - start).count(), 4000);
+}
+
+TEST(ClockTest, PolymorphicUseThroughBase) {
+  ManualClock manual;
+  const Clock& as_base = manual;
+  TimePoint a = as_base.now();
+  manual.advance(std::chrono::seconds(1));
+  EXPECT_GT(as_base.now(), a);
+}
+
+}  // namespace
+}  // namespace wsc::util

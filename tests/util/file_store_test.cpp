@@ -1,0 +1,103 @@
+#include "util/file_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+
+namespace wsc::util {
+namespace {
+
+struct FileStoreFixture : ::testing::Test {
+  void SetUp() override {
+    dir = std::filesystem::temp_directory_path() /
+          ("wsc_filestore_test_" + std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir); }
+
+  std::filesystem::path dir;
+};
+
+TEST_F(FileStoreFixture, PutGetRoundTrip) {
+  FileStore store(dir.string());
+  store.put(42, std::string_view("hello blob"));
+  auto data = store.get(42);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(std::string(data->begin(), data->end()), "hello blob");
+}
+
+TEST_F(FileStoreFixture, MissingKeyReturnsNullopt) {
+  FileStore store(dir.string());
+  EXPECT_FALSE(store.get(999).has_value());
+}
+
+TEST_F(FileStoreFixture, PutReplacesExisting) {
+  FileStore store(dir.string());
+  store.put(1, std::string_view("old"));
+  store.put(1, std::string_view("new"));
+  auto data = store.get(1);
+  EXPECT_EQ(std::string(data->begin(), data->end()), "new");
+  EXPECT_EQ(store.count(), 1u);
+}
+
+TEST_F(FileStoreFixture, BinaryBlobsIntact) {
+  FileStore store(dir.string());
+  Rng rng(3);
+  std::vector<std::uint8_t> blob = rng.next_bytes(65536);
+  store.put(7, blob);
+  EXPECT_EQ(store.get(7), blob);
+}
+
+TEST_F(FileStoreFixture, EmptyBlobAllowed) {
+  FileStore store(dir.string());
+  store.put(5, std::string_view(""));
+  auto data = store.get(5);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_TRUE(data->empty());
+}
+
+TEST_F(FileStoreFixture, RemoveAndCount) {
+  FileStore store(dir.string());
+  for (std::uint64_t k = 0; k < 10; ++k)
+    store.put(k, std::string_view("x"));
+  EXPECT_EQ(store.count(), 10u);
+  EXPECT_TRUE(store.remove(3));
+  EXPECT_FALSE(store.remove(3));
+  EXPECT_EQ(store.count(), 9u);
+  EXPECT_FALSE(store.get(3).has_value());
+}
+
+TEST_F(FileStoreFixture, ClearEmptiesDirectory) {
+  FileStore store(dir.string());
+  for (std::uint64_t k = 0; k < 5; ++k) store.put(k, std::string_view("x"));
+  store.clear();
+  EXPECT_EQ(store.count(), 0u);
+}
+
+TEST_F(FileStoreFixture, SurvivesReopen) {
+  {
+    FileStore store(dir.string());
+    store.put(11, std::string_view("persistent"));
+  }
+  FileStore reopened(dir.string());
+  auto data = reopened.get(11);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_EQ(std::string(data->begin(), data->end()), "persistent");
+}
+
+TEST_F(FileStoreFixture, DistinctKeysDistinctFiles) {
+  FileStore store(dir.string());
+  store.put(0x1111, std::string_view("a"));
+  store.put(0x2222, std::string_view("b"));
+  auto a = store.get(0x1111);
+  auto b = store.get(0x2222);
+  EXPECT_EQ(std::string(a->begin(), a->end()), "a");
+  EXPECT_EQ(std::string(b->begin(), b->end()), "b");
+}
+
+}  // namespace
+}  // namespace wsc::util

@@ -1,0 +1,47 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wsc::util {
+namespace {
+
+TEST(HashTest, Fnv1aKnownVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, ByteAndStringOverloadsAgree) {
+  std::string s = "hello world";
+  std::vector<std::uint8_t> b(s.begin(), s.end());
+  EXPECT_EQ(fnv1a(s), fnv1a(std::span<const std::uint8_t>(b)));
+}
+
+TEST(HashTest, SeedChaining) {
+  // Hashing "ab" equals hashing "b" seeded with hash("a").
+  EXPECT_EQ(fnv1a("ab"), fnv1a("b", fnv1a("a")));
+}
+
+TEST(HashTest, DistinctStringsDistinctHashes) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    seen.insert(fnv1a("key-" + std::to_string(i)));
+  }
+  EXPECT_EQ(seen.size(), 10000u);  // no collisions on this easy set
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(HashTest, IsConstexprUsable) {
+  static_assert(fnv1a("compile-time") != 0);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace wsc::util

@@ -1,0 +1,103 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace wsc::util {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_EQ(h.mean(), 42.0);
+  EXPECT_EQ(h.percentile(0.0), 42u);
+  EXPECT_EQ(h.percentile(1.0), 42u);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 32; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 0u);
+  // With 32 exact buckets, the median of 0..31 falls on 16.
+  EXPECT_EQ(h.percentile(0.5), 16u);
+  EXPECT_EQ(h.percentile(1.0), 31u);
+}
+
+TEST(HistogramTest, MeanIsExactRegardlessOfBuckets) {
+  Histogram h;
+  h.record(1'000'000);
+  h.record(3'000'000);
+  EXPECT_EQ(h.mean(), 2'000'000.0);
+}
+
+TEST(HistogramTest, PercentileRelativeErrorBounded) {
+  Histogram h(5);
+  Rng rng(7);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    std::uint64_t v = 1000 + rng.next_below(10'000'000);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99}) {
+    std::uint64_t exact = values[static_cast<std::size_t>(q * (values.size() - 1))];
+    std::uint64_t approx = h.percentile(q);
+    double rel = std::abs(static_cast<double>(approx) - static_cast<double>(exact)) /
+                 static_cast<double>(exact);
+    EXPECT_LT(rel, 0.05) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  a.record(10);
+  a.record(20);
+  b.record(30);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 30u);
+  EXPECT_EQ(a.mean(), 20.0);
+}
+
+TEST(HistogramTest, RecordsDurations) {
+  Histogram h;
+  h.record(std::chrono::milliseconds(5));
+  EXPECT_EQ(h.max(), 5'000'000u);
+  h.record(std::chrono::nanoseconds(-3));  // clamped to zero, not UB
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(HistogramTest, SummaryMentionsAllQuantiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(static_cast<std::uint64_t>(i) * 1'000'000);
+  std::string s = h.summary(1e6, "ms");
+  EXPECT_NE(s.find("n=100"), std::string::npos);
+  EXPECT_NE(s.find("p95"), std::string::npos);
+  EXPECT_NE(s.find("max"), std::string::npos);
+}
+
+TEST(HistogramTest, LargeValuesDoNotCrash) {
+  Histogram h;
+  h.record(UINT64_MAX);
+  h.record(UINT64_MAX / 2);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_GE(h.percentile(1.0), UINT64_MAX / 2);
+}
+
+}  // namespace
+}  // namespace wsc::util

@@ -1,0 +1,79 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace wsc::util {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(RngTest, NextRangeInclusive) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoolRespectsProbabilityRoughly) {
+  Rng rng(13);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) trues += rng.next_bool(0.25);
+  EXPECT_NEAR(trues / 10000.0, 0.25, 0.03);
+}
+
+TEST(RngTest, WordsHaveRequestedLengths) {
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    std::string w = rng.next_word(3, 8);
+    EXPECT_GE(w.size(), 3u);
+    EXPECT_LE(w.size(), 8u);
+    for (char c : w) EXPECT_TRUE(c >= 'a' && c <= 'z');
+  }
+}
+
+TEST(RngTest, SentenceHasRequestedWordCount) {
+  Rng rng(19);
+  std::string s = rng.next_sentence(5);
+  EXPECT_EQ(std::count(s.begin(), s.end(), ' '), 4);
+}
+
+TEST(RngTest, NextBytesSizeAndDeterminism) {
+  Rng a(23), b(23);
+  auto x = a.next_bytes(100);
+  auto y = b.next_bytes(100);
+  EXPECT_EQ(x.size(), 100u);
+  EXPECT_EQ(x, y);
+  EXPECT_TRUE(a.next_bytes(0).empty());
+}
+
+}  // namespace
+}  // namespace wsc::util

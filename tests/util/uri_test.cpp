@@ -1,0 +1,64 @@
+#include "util/uri.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wsc::util {
+namespace {
+
+TEST(UriTest, ParsesFullForm) {
+  Uri u = Uri::parse("http://127.0.0.1:8080/soap/google");
+  EXPECT_EQ(u.scheme, "http");
+  EXPECT_EQ(u.host, "127.0.0.1");
+  EXPECT_EQ(u.port, 8080);
+  EXPECT_EQ(u.path, "/soap/google");
+}
+
+TEST(UriTest, DefaultsPathToRoot) {
+  Uri u = Uri::parse("http://example.com");
+  EXPECT_EQ(u.path, "/");
+  EXPECT_EQ(u.port, 0);
+  EXPECT_EQ(u.effective_port(), 80);
+}
+
+TEST(UriTest, ExplicitPortOverridesDefault) {
+  EXPECT_EQ(Uri::parse("http://h:8081/").effective_port(), 8081);
+}
+
+TEST(UriTest, SchemeIsLowercased) {
+  EXPECT_EQ(Uri::parse("HTTP://h/x").scheme, "http");
+}
+
+TEST(UriTest, InprocScheme) {
+  Uri u = Uri::parse("inproc://services/google");
+  EXPECT_EQ(u.scheme, "inproc");
+  EXPECT_EQ(u.host, "services");
+  EXPECT_EQ(u.path, "/google");
+  EXPECT_EQ(u.effective_port(), 0);
+}
+
+TEST(UriTest, ToStringRoundTrips) {
+  for (const char* s : {"http://127.0.0.1:9000/a/b", "inproc://svc/google",
+                        "http://example.com/"}) {
+    EXPECT_EQ(Uri::parse(s).to_string(), s);
+  }
+}
+
+TEST(UriTest, EqualityIsStructural) {
+  EXPECT_EQ(Uri::parse("http://a:1/x"), Uri::parse("http://a:1/x"));
+  EXPECT_NE(Uri::parse("http://a:1/x"), Uri::parse("http://a:2/x"));
+}
+
+TEST(UriTest, RejectsMalformed) {
+  EXPECT_THROW(Uri::parse("no-scheme"), ParseError);
+  EXPECT_THROW(Uri::parse("http://"), ParseError);
+  EXPECT_THROW(Uri::parse("http://:80/x"), ParseError);
+  EXPECT_THROW(Uri::parse("http://h:0/x"), ParseError);
+  EXPECT_THROW(Uri::parse("http://h:65536/x"), ParseError);
+  EXPECT_THROW(Uri::parse("http://h:abc/x"), ParseError);
+  EXPECT_THROW(Uri::parse("://h/x"), ParseError);
+}
+
+}  // namespace
+}  // namespace wsc::util

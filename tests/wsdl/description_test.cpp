@@ -1,0 +1,78 @@
+#include "wsdl/description.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/reflect/test_types.hpp"
+#include "util/error.hpp"
+
+namespace wsc::wsdl {
+namespace {
+
+using reflect::testing::ensure_test_types;
+
+ServiceDescription make_service() {
+  ensure_test_types();
+  ServiceDescription d("Svc", "urn:Svc");
+  OperationInfo op;
+  op.name = "doIt";
+  op.params = {{"a", &reflect::type_of<std::string>()},
+               {"b", &reflect::type_of<std::int32_t>()}};
+  op.result_type = &reflect::type_of<std::string>();
+  d.add_operation(std::move(op));
+  return d;
+}
+
+TEST(DescriptionTest, BasicAccessors) {
+  ServiceDescription d = make_service();
+  EXPECT_EQ(d.name(), "Svc");
+  EXPECT_EQ(d.target_namespace(), "urn:Svc");
+  EXPECT_EQ(d.operations().size(), 1u);
+}
+
+TEST(DescriptionTest, OperationLookup) {
+  ServiceDescription d = make_service();
+  EXPECT_NE(d.operation("doIt"), nullptr);
+  EXPECT_EQ(d.operation("nope"), nullptr);
+  EXPECT_EQ(&d.require_operation("doIt"), d.operation("doIt"));
+  EXPECT_THROW(d.require_operation("nope"), Error);
+}
+
+TEST(DescriptionTest, ParamLookup) {
+  ServiceDescription d = make_service();
+  const OperationInfo& op = d.require_operation("doIt");
+  ASSERT_NE(op.param("a"), nullptr);
+  EXPECT_EQ(op.param("a")->type, &reflect::type_of<std::string>());
+  EXPECT_EQ(op.param("zz"), nullptr);
+}
+
+TEST(DescriptionTest, ResponseElementNaming) {
+  ServiceDescription d = make_service();
+  EXPECT_EQ(d.require_operation("doIt").response_element(), "doItResponse");
+}
+
+TEST(DescriptionTest, DuplicateOperationRejected) {
+  ServiceDescription d = make_service();
+  OperationInfo dup;
+  dup.name = "doIt";
+  EXPECT_THROW(d.add_operation(std::move(dup)), Error);
+}
+
+TEST(DescriptionTest, UntypedParameterRejected) {
+  ServiceDescription d("S", "urn:S");
+  OperationInfo op;
+  op.name = "bad";
+  op.params = {{"p", nullptr}};
+  EXPECT_THROW(d.add_operation(std::move(op)), Error);
+}
+
+TEST(DescriptionTest, VoidOperationAllowed) {
+  ServiceDescription d("S", "urn:S");
+  OperationInfo op;
+  op.name = "fireAndForget";
+  op.result_type = nullptr;
+  d.add_operation(std::move(op));
+  EXPECT_EQ(d.require_operation("fireAndForget").result_type, nullptr);
+}
+
+}  // namespace
+}  // namespace wsc::wsdl

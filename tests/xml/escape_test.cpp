@@ -1,0 +1,81 @@
+#include "xml/escape.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace wsc::xml {
+namespace {
+
+TEST(EscapeTest, TextEscapesMarkupCharacters) {
+  EXPECT_EQ(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+  EXPECT_EQ(escape_text("no markup"), "no markup");
+  EXPECT_EQ(escape_text(""), "");
+}
+
+TEST(EscapeTest, TextLeavesQuotesAlone) {
+  EXPECT_EQ(escape_text("\"quoted\" and 'single'"), "\"quoted\" and 'single'");
+}
+
+TEST(EscapeTest, AttributeEscapesQuotesAndWhitespace) {
+  EXPECT_EQ(escape_attribute("a\"b"), "a&quot;b");
+  EXPECT_EQ(escape_attribute("line\nbreak"), "line&#10;break");
+  EXPECT_EQ(escape_attribute("tab\there"), "tab&#9;here");
+  EXPECT_EQ(escape_attribute("cr\rhere"), "cr&#13;here");
+}
+
+TEST(EscapeTest, UnescapePredefinedEntities) {
+  EXPECT_EQ(unescape("&amp;&lt;&gt;&apos;&quot;"), "&<>'\"");
+}
+
+TEST(EscapeTest, UnescapeDecimalReference) {
+  EXPECT_EQ(unescape("&#65;"), "A");
+  EXPECT_EQ(unescape("&#10;"), "\n");
+}
+
+TEST(EscapeTest, UnescapeHexReference) {
+  EXPECT_EQ(unescape("&#x41;"), "A");
+  EXPECT_EQ(unescape("&#X4a;"), "J");
+}
+
+TEST(EscapeTest, UnescapeMultiByteUtf8) {
+  EXPECT_EQ(unescape("&#233;"), "\xC3\xA9");          // e-acute, 2 bytes
+  EXPECT_EQ(unescape("&#x20AC;"), "\xE2\x82\xAC");    // euro sign, 3 bytes
+  EXPECT_EQ(unescape("&#x1F600;"), "\xF0\x9F\x98\x80");  // emoji, 4 bytes
+}
+
+TEST(EscapeTest, UnescapePassthrough) {
+  EXPECT_EQ(unescape("plain text"), "plain text");
+  EXPECT_EQ(unescape(""), "");
+}
+
+TEST(EscapeTest, UnescapeRejectsMalformed) {
+  EXPECT_THROW(unescape("&unknown;"), ParseError);
+  EXPECT_THROW(unescape("&amp"), ParseError);       // unterminated
+  EXPECT_THROW(unescape("&#;"), ParseError);        // empty numeric
+  EXPECT_THROW(unescape("&#xZZ;"), ParseError);     // bad hex digit
+  EXPECT_THROW(unescape("&#x110000;"), ParseError); // beyond Unicode
+  EXPECT_THROW(unescape("&#12a;"), ParseError);     // hex digit in decimal
+}
+
+TEST(EscapeTest, RoundTripTextThroughEscapeUnescape) {
+  std::string nasty = "<tag attr=\"v\">a & b 'c'</tag>";
+  EXPECT_EQ(unescape(escape_text(nasty)), nasty);
+  EXPECT_EQ(unescape(escape_attribute(nasty)), nasty);
+}
+
+TEST(EscapeTest, AppendUtf8Boundaries) {
+  std::string out;
+  append_utf8(out, 0x7F);
+  append_utf8(out, 0x80);
+  append_utf8(out, 0x7FF);
+  append_utf8(out, 0x800);
+  append_utf8(out, 0xFFFF);
+  append_utf8(out, 0x10000);
+  append_utf8(out, 0x10FFFF);
+  EXPECT_EQ(out.size(), 1u + 2 + 2 + 3 + 3 + 4 + 4);
+  EXPECT_THROW(append_utf8(out, 0x110000), ParseError);
+}
+
+}  // namespace
+}  // namespace wsc::xml

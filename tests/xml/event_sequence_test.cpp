@@ -1,0 +1,103 @@
+#include "xml/event_sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "xml/dom.hpp"
+#include "xml/sax_parser.hpp"
+
+namespace wsc::xml {
+namespace {
+
+EventSequence record(std::string_view doc) {
+  EventRecorder recorder;
+  SaxParser{}.parse(doc, recorder);
+  return recorder.take();
+}
+
+TEST(EventSequenceTest, RecordsAllEventTypes) {
+  // doc + <a> + text + <b> + </b> + </a> + /doc = 7 events
+  EventSequence seq = record("<a k=\"v\">text<b/></a>");
+  ASSERT_EQ(seq.size(), 7u);
+  EXPECT_EQ(seq.events()[0].type, EventType::StartDocument);
+  EXPECT_EQ(seq.events()[1].type, EventType::StartElement);
+  EXPECT_EQ(seq.events()[1].name.local, "a");
+  ASSERT_EQ(seq.events()[1].attrs.size(), 1u);
+  EXPECT_EQ(seq.events()[1].attrs[0].value, "v");
+  EXPECT_EQ(seq.events()[2].type, EventType::Characters);
+  EXPECT_EQ(seq.events()[2].text, "text");
+  EXPECT_EQ(seq.events()[3].type, EventType::StartElement);
+  EXPECT_EQ(seq.events()[4].type, EventType::EndElement);
+  EXPECT_EQ(seq.events()[5].type, EventType::EndElement);
+  EXPECT_EQ(seq.events()[6].type, EventType::EndDocument);
+}
+
+TEST(EventSequenceTest, SizeMatchesEventCount) {
+  EventSequence seq = record("<a><b/><c/></a>");
+  // doc + a + b + /b + c + /c + /a + /doc
+  EXPECT_EQ(seq.size(), 8u);
+}
+
+TEST(EventSequenceTest, ReplayBuildsIdenticalDom) {
+  const char* doc = "<r a=\"1\"><x>one</x><y ns=\"2\">two &amp; three</y></r>";
+  EventSequence seq = record(doc);
+
+  DomBuilder from_replay;
+  seq.deliver(from_replay);
+  Document replayed = from_replay.take();
+
+  Document direct = parse_document(doc);
+  EXPECT_EQ(replayed.root->to_xml(), direct.root->to_xml());
+}
+
+TEST(EventSequenceTest, ReplayIsRepeatable) {
+  EventSequence seq = record("<a>x</a>");
+  for (int i = 0; i < 3; ++i) {
+    DomBuilder builder;
+    seq.deliver(builder);
+    EXPECT_EQ(builder.take().root->text_content(), "x");
+  }
+}
+
+TEST(EventSequenceTest, MemorySizeGrowsWithContent) {
+  EventSequence small = record("<a/>");
+  EventSequence big = record("<a>" + std::string(10000, 'x') + "</a>");
+  EXPECT_GT(big.memory_size(), small.memory_size() + 9000);
+}
+
+TEST(EventSequenceTest, EmptySequence) {
+  EventSequence seq;
+  EXPECT_TRUE(seq.empty());
+  DomBuilder builder;
+  seq.deliver(builder);  // no events, no crash
+  EXPECT_THROW(builder.take(), ParseError);
+}
+
+TEST(TeeHandlerTest, DeliversToBothHandlers) {
+  EventRecorder first, second;
+  TeeHandler tee(first, second);
+  SaxParser{}.parse("<a k=\"v\"><b>x</b></a>", tee);
+  EXPECT_EQ(first.sequence().size(), second.sequence().size());
+  ASSERT_GT(first.sequence().size(), 0u);
+  // Independent recordings with identical content.
+  for (std::size_t i = 0; i < first.sequence().size(); ++i) {
+    EXPECT_EQ(first.sequence().events()[i].type,
+              second.sequence().events()[i].type);
+    EXPECT_EQ(first.sequence().events()[i].text,
+              second.sequence().events()[i].text);
+  }
+}
+
+TEST(TeeHandlerTest, DeserializeAndRecordInOneParse) {
+  // The miss-path pattern: DOM build (stand-in for the deserializer) and
+  // recording from one pass over the document.
+  DomBuilder builder;
+  EventRecorder recorder;
+  TeeHandler tee(builder, recorder);
+  SaxParser{}.parse("<a>payload</a>", tee);
+  EXPECT_EQ(builder.take().root->text_content(), "payload");
+  EXPECT_FALSE(recorder.sequence().empty());
+}
+
+}  // namespace
+}  // namespace wsc::xml

@@ -1,0 +1,74 @@
+// serve_services — host every built-in dummy Web service on one HTTP
+// server, for interactive use with soapcall / wsdl_export or any external
+// SOAP client.
+//
+//   build/tools/serve_services [port]        (default: auto-assign)
+//
+// Endpoints:  /soap/google  /soap/amazon  /soap/quotes  /soap/news
+// Add --multiref to emit Axis-style multiRef responses.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "http/server.hpp"
+#include "services/amazon/service.hpp"
+#include "services/google/service.hpp"
+#include "services/news/service.hpp"
+#include "services/quotes/service.hpp"
+#include "transport/soap_http.hpp"
+#include "util/strings.hpp"
+
+using namespace wsc;
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  bool multiref = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--multiref") == 0) {
+      multiref = true;
+    } else {
+      port = static_cast<std::uint16_t>(util::parse_i32(argv[i]));
+    }
+  }
+
+  auto google = services::google::make_google_service(
+      std::make_shared<services::google::GoogleBackend>());
+  auto amazon = services::amazon::make_amazon_service(
+      std::make_shared<services::amazon::AmazonBackend>());
+  auto quotes = services::quotes::make_quotes_service(
+      std::make_shared<services::quotes::QuoteBackend>());
+  auto news = services::news::make_news_service(
+      std::make_shared<services::news::NewsBackend>());
+  for (auto& service : {google, amazon, quotes, news})
+    service->set_multiref_responses(multiref);
+
+  // One server, one handler routing by path.
+  auto h_google = transport::make_soap_handler("/soap/google", google);
+  auto h_amazon = transport::make_soap_handler("/soap/amazon", amazon);
+  auto h_quotes = transport::make_soap_handler("/soap/quotes", quotes);
+  auto h_news = transport::make_soap_handler("/soap/news", news);
+  http::HttpServer server(port, [=](const http::Request& request) {
+    if (util::starts_with(request.target, "/soap/google")) return h_google(request);
+    if (util::starts_with(request.target, "/soap/amazon")) return h_amazon(request);
+    if (util::starts_with(request.target, "/soap/quotes")) return h_quotes(request);
+    if (util::starts_with(request.target, "/soap/news")) return h_news(request);
+    http::Response r;
+    r.status = 404;
+    r.body = "services: /soap/google /soap/amazon /soap/quotes /soap/news";
+    return r;
+  });
+  server.start();
+
+  std::printf("serving dummy Web services (%s responses):\n",
+              multiref ? "multiRef" : "inline");
+  for (const char* name : {"google", "amazon", "quotes", "news"})
+    std::printf("  %s/soap/%s\n", server.base_url().c_str(), name);
+  std::printf("try:\n  build/tools/soapcall %s/soap/google google "
+              "doSpellingSuggestion key=k phrase='web servies' --twice\n",
+              server.base_url().c_str());
+  std::fflush(stdout);
+
+  for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+}

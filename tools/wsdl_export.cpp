@@ -1,0 +1,51 @@
+// wsdl_export — print the WSDL 1.1 contract of any built-in service.
+//
+//   build/tools/wsdl_export <google|amazon|quotes|news> [endpoint-url]
+//
+// The document is produced by wsdl::to_wsdl_xml from the same in-memory
+// ServiceDescription the runtime stubs use, so what this prints is, by
+// construction, the contract the middleware actually speaks.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "services/amazon/service.hpp"
+#include "services/google/service.hpp"
+#include "services/news/service.hpp"
+#include "services/quotes/service.hpp"
+#include "wsdl/wsdl_writer.hpp"
+
+using namespace wsc;
+
+namespace {
+
+std::shared_ptr<const wsdl::ServiceDescription> description_for(
+    const std::string& name) {
+  if (name == "google") return services::google::google_description();
+  if (name == "amazon") return services::amazon::amazon_description();
+  if (name == "quotes") return services::quotes::quotes_description();
+  if (name == "news") return services::news::news_description();
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <google|amazon|quotes|news> [endpoint-url]\n",
+                 argv[0]);
+    return 2;
+  }
+  auto description = description_for(argv[1]);
+  if (!description) {
+    std::fprintf(stderr, "unknown service '%s'\n", argv[1]);
+    return 2;
+  }
+  std::string endpoint =
+      argc > 2 ? argv[2] : "http://localhost:8080/soap/" + std::string(argv[1]);
+  std::string doc = wsdl::to_wsdl_xml(*description, endpoint);
+  std::fwrite(doc.data(), 1, doc.size(), stdout);
+  std::fputc('\n', stdout);
+  return 0;
+}

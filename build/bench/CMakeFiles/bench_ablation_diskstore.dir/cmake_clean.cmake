@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_diskstore.dir/bench_ablation_diskstore.cpp.o"
+  "CMakeFiles/bench_ablation_diskstore.dir/bench_ablation_diskstore.cpp.o.d"
+  "bench_ablation_diskstore"
+  "bench_ablation_diskstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_diskstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiref.dir/bench_ablation_multiref.cpp.o"
+  "CMakeFiles/bench_ablation_multiref.dir/bench_ablation_multiref.cpp.o.d"
+  "bench_ablation_multiref"
+  "bench_ablation_multiref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_keygen.dir/bench_table6_keygen.cpp.o"
+  "CMakeFiles/bench_table6_keygen.dir/bench_table6_keygen.cpp.o.d"
+  "bench_table6_keygen"
+  "bench_table6_keygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_keygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_retrieval.dir/bench_table7_retrieval.cpp.o"
+  "CMakeFiles/bench_table7_retrieval.dir/bench_table7_retrieval.cpp.o.d"
+  "bench_table7_retrieval"
+  "bench_table7_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_keysize.dir/bench_table8_keysize.cpp.o"
+  "CMakeFiles/bench_table8_keysize.dir/bench_table8_keysize.cpp.o.d"
+  "bench_table8_keysize"
+  "bench_table8_keysize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_keysize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

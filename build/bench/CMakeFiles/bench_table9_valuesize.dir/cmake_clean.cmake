@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_valuesize.dir/bench_table9_valuesize.cpp.o"
+  "CMakeFiles/bench_table9_valuesize.dir/bench_table9_valuesize.cpp.o.d"
+  "bench_table9_valuesize"
+  "bench_table9_valuesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_valuesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/amazon_policy.cpp" "examples/CMakeFiles/amazon_policy.dir/amazon_policy.cpp.o" "gcc" "examples/CMakeFiles/amazon_policy.dir/amazon_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/portal/CMakeFiles/wsc_portal.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/wsc_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/wsc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/wsc_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/wsc_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/wsc_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/reflect/CMakeFiles/wsc_reflect.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

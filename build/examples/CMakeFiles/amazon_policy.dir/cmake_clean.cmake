@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amazon_policy.dir/amazon_policy.cpp.o"
+  "CMakeFiles/amazon_policy.dir/amazon_policy.cpp.o.d"
+  "amazon_policy"
+  "amazon_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amazon_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

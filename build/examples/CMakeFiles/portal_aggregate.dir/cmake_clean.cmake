@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portal_aggregate.dir/portal_aggregate.cpp.o"
+  "CMakeFiles/portal_aggregate.dir/portal_aggregate.cpp.o.d"
+  "portal_aggregate"
+  "portal_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portal_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

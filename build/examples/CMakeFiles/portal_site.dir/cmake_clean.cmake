@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portal_site.dir/portal_site.cpp.o"
+  "CMakeFiles/portal_site.dir/portal_site.cpp.o.d"
+  "portal_site"
+  "portal_site.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portal_site.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

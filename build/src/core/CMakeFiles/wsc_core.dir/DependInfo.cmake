@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cache_key.cpp" "src/core/CMakeFiles/wsc_core.dir/cache_key.cpp.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/cache_key.cpp.o.d"
+  "/root/repo/src/core/cached_value.cpp" "src/core/CMakeFiles/wsc_core.dir/cached_value.cpp.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/cached_value.cpp.o.d"
+  "/root/repo/src/core/client.cpp" "src/core/CMakeFiles/wsc_core.dir/client.cpp.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/client.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/wsc_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/representation.cpp" "src/core/CMakeFiles/wsc_core.dir/representation.cpp.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/representation.cpp.o.d"
+  "/root/repo/src/core/response_cache.cpp" "src/core/CMakeFiles/wsc_core.dir/response_cache.cpp.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/response_cache.cpp.o.d"
+  "/root/repo/src/core/stats.cpp" "src/core/CMakeFiles/wsc_core.dir/stats.cpp.o" "gcc" "src/core/CMakeFiles/wsc_core.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/wsc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/wsc_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/reflect/CMakeFiles/wsc_reflect.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/wsc_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/wsc_http.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

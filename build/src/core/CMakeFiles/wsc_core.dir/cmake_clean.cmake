@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_core.dir/cache_key.cpp.o"
+  "CMakeFiles/wsc_core.dir/cache_key.cpp.o.d"
+  "CMakeFiles/wsc_core.dir/cached_value.cpp.o"
+  "CMakeFiles/wsc_core.dir/cached_value.cpp.o.d"
+  "CMakeFiles/wsc_core.dir/client.cpp.o"
+  "CMakeFiles/wsc_core.dir/client.cpp.o.d"
+  "CMakeFiles/wsc_core.dir/policy.cpp.o"
+  "CMakeFiles/wsc_core.dir/policy.cpp.o.d"
+  "CMakeFiles/wsc_core.dir/representation.cpp.o"
+  "CMakeFiles/wsc_core.dir/representation.cpp.o.d"
+  "CMakeFiles/wsc_core.dir/response_cache.cpp.o"
+  "CMakeFiles/wsc_core.dir/response_cache.cpp.o.d"
+  "CMakeFiles/wsc_core.dir/stats.cpp.o"
+  "CMakeFiles/wsc_core.dir/stats.cpp.o.d"
+  "libwsc_core.a"
+  "libwsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_http.dir/cache_headers.cpp.o"
+  "CMakeFiles/wsc_http.dir/cache_headers.cpp.o.d"
+  "CMakeFiles/wsc_http.dir/client.cpp.o"
+  "CMakeFiles/wsc_http.dir/client.cpp.o.d"
+  "CMakeFiles/wsc_http.dir/message.cpp.o"
+  "CMakeFiles/wsc_http.dir/message.cpp.o.d"
+  "CMakeFiles/wsc_http.dir/parser.cpp.o"
+  "CMakeFiles/wsc_http.dir/parser.cpp.o.d"
+  "CMakeFiles/wsc_http.dir/server.cpp.o"
+  "CMakeFiles/wsc_http.dir/server.cpp.o.d"
+  "CMakeFiles/wsc_http.dir/socket.cpp.o"
+  "CMakeFiles/wsc_http.dir/socket.cpp.o.d"
+  "libwsc_http.a"
+  "libwsc_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

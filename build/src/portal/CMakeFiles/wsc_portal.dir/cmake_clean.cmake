@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_portal.dir/load_sim.cpp.o"
+  "CMakeFiles/wsc_portal.dir/load_sim.cpp.o.d"
+  "CMakeFiles/wsc_portal.dir/portal.cpp.o"
+  "CMakeFiles/wsc_portal.dir/portal.cpp.o.d"
+  "CMakeFiles/wsc_portal.dir/query_string.cpp.o"
+  "CMakeFiles/wsc_portal.dir/query_string.cpp.o.d"
+  "libwsc_portal.a"
+  "libwsc_portal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_portal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reflect/algorithms.cpp" "src/reflect/CMakeFiles/wsc_reflect.dir/algorithms.cpp.o" "gcc" "src/reflect/CMakeFiles/wsc_reflect.dir/algorithms.cpp.o.d"
+  "/root/repo/src/reflect/object.cpp" "src/reflect/CMakeFiles/wsc_reflect.dir/object.cpp.o" "gcc" "src/reflect/CMakeFiles/wsc_reflect.dir/object.cpp.o.d"
+  "/root/repo/src/reflect/registry.cpp" "src/reflect/CMakeFiles/wsc_reflect.dir/registry.cpp.o" "gcc" "src/reflect/CMakeFiles/wsc_reflect.dir/registry.cpp.o.d"
+  "/root/repo/src/reflect/serialize.cpp" "src/reflect/CMakeFiles/wsc_reflect.dir/serialize.cpp.o" "gcc" "src/reflect/CMakeFiles/wsc_reflect.dir/serialize.cpp.o.d"
+  "/root/repo/src/reflect/type_info.cpp" "src/reflect/CMakeFiles/wsc_reflect.dir/type_info.cpp.o" "gcc" "src/reflect/CMakeFiles/wsc_reflect.dir/type_info.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

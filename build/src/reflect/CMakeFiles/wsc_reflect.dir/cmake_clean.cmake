@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_reflect.dir/algorithms.cpp.o"
+  "CMakeFiles/wsc_reflect.dir/algorithms.cpp.o.d"
+  "CMakeFiles/wsc_reflect.dir/object.cpp.o"
+  "CMakeFiles/wsc_reflect.dir/object.cpp.o.d"
+  "CMakeFiles/wsc_reflect.dir/registry.cpp.o"
+  "CMakeFiles/wsc_reflect.dir/registry.cpp.o.d"
+  "CMakeFiles/wsc_reflect.dir/serialize.cpp.o"
+  "CMakeFiles/wsc_reflect.dir/serialize.cpp.o.d"
+  "CMakeFiles/wsc_reflect.dir/type_info.cpp.o"
+  "CMakeFiles/wsc_reflect.dir/type_info.cpp.o.d"
+  "libwsc_reflect.a"
+  "libwsc_reflect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_reflect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

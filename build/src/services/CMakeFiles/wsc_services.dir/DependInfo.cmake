@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/amazon/service.cpp" "src/services/CMakeFiles/wsc_services.dir/amazon/service.cpp.o" "gcc" "src/services/CMakeFiles/wsc_services.dir/amazon/service.cpp.o.d"
+  "/root/repo/src/services/amazon/types.cpp" "src/services/CMakeFiles/wsc_services.dir/amazon/types.cpp.o" "gcc" "src/services/CMakeFiles/wsc_services.dir/amazon/types.cpp.o.d"
+  "/root/repo/src/services/google/service.cpp" "src/services/CMakeFiles/wsc_services.dir/google/service.cpp.o" "gcc" "src/services/CMakeFiles/wsc_services.dir/google/service.cpp.o.d"
+  "/root/repo/src/services/google/stub.cpp" "src/services/CMakeFiles/wsc_services.dir/google/stub.cpp.o" "gcc" "src/services/CMakeFiles/wsc_services.dir/google/stub.cpp.o.d"
+  "/root/repo/src/services/google/types.cpp" "src/services/CMakeFiles/wsc_services.dir/google/types.cpp.o" "gcc" "src/services/CMakeFiles/wsc_services.dir/google/types.cpp.o.d"
+  "/root/repo/src/services/news/service.cpp" "src/services/CMakeFiles/wsc_services.dir/news/service.cpp.o" "gcc" "src/services/CMakeFiles/wsc_services.dir/news/service.cpp.o.d"
+  "/root/repo/src/services/quotes/service.cpp" "src/services/CMakeFiles/wsc_services.dir/quotes/service.cpp.o" "gcc" "src/services/CMakeFiles/wsc_services.dir/quotes/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/wsc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/wsc_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/wsc_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/wsc_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/reflect/CMakeFiles/wsc_reflect.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

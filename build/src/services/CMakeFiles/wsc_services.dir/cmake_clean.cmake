@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_services.dir/amazon/service.cpp.o"
+  "CMakeFiles/wsc_services.dir/amazon/service.cpp.o.d"
+  "CMakeFiles/wsc_services.dir/amazon/types.cpp.o"
+  "CMakeFiles/wsc_services.dir/amazon/types.cpp.o.d"
+  "CMakeFiles/wsc_services.dir/google/service.cpp.o"
+  "CMakeFiles/wsc_services.dir/google/service.cpp.o.d"
+  "CMakeFiles/wsc_services.dir/google/stub.cpp.o"
+  "CMakeFiles/wsc_services.dir/google/stub.cpp.o.d"
+  "CMakeFiles/wsc_services.dir/google/types.cpp.o"
+  "CMakeFiles/wsc_services.dir/google/types.cpp.o.d"
+  "CMakeFiles/wsc_services.dir/news/service.cpp.o"
+  "CMakeFiles/wsc_services.dir/news/service.cpp.o.d"
+  "CMakeFiles/wsc_services.dir/quotes/service.cpp.o"
+  "CMakeFiles/wsc_services.dir/quotes/service.cpp.o.d"
+  "libwsc_services.a"
+  "libwsc_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soap/deserializer.cpp" "src/soap/CMakeFiles/wsc_soap.dir/deserializer.cpp.o" "gcc" "src/soap/CMakeFiles/wsc_soap.dir/deserializer.cpp.o.d"
+  "/root/repo/src/soap/dispatcher.cpp" "src/soap/CMakeFiles/wsc_soap.dir/dispatcher.cpp.o" "gcc" "src/soap/CMakeFiles/wsc_soap.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/soap/message.cpp" "src/soap/CMakeFiles/wsc_soap.dir/message.cpp.o" "gcc" "src/soap/CMakeFiles/wsc_soap.dir/message.cpp.o.d"
+  "/root/repo/src/soap/serializer.cpp" "src/soap/CMakeFiles/wsc_soap.dir/serializer.cpp.o" "gcc" "src/soap/CMakeFiles/wsc_soap.dir/serializer.cpp.o.d"
+  "/root/repo/src/soap/value_reader.cpp" "src/soap/CMakeFiles/wsc_soap.dir/value_reader.cpp.o" "gcc" "src/soap/CMakeFiles/wsc_soap.dir/value_reader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wsdl/CMakeFiles/wsc_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/reflect/CMakeFiles/wsc_reflect.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

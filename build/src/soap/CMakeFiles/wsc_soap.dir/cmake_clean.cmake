@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_soap.dir/deserializer.cpp.o"
+  "CMakeFiles/wsc_soap.dir/deserializer.cpp.o.d"
+  "CMakeFiles/wsc_soap.dir/dispatcher.cpp.o"
+  "CMakeFiles/wsc_soap.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/wsc_soap.dir/message.cpp.o"
+  "CMakeFiles/wsc_soap.dir/message.cpp.o.d"
+  "CMakeFiles/wsc_soap.dir/serializer.cpp.o"
+  "CMakeFiles/wsc_soap.dir/serializer.cpp.o.d"
+  "CMakeFiles/wsc_soap.dir/value_reader.cpp.o"
+  "CMakeFiles/wsc_soap.dir/value_reader.cpp.o.d"
+  "libwsc_soap.a"
+  "libwsc_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

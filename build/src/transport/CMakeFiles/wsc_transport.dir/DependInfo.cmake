@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/http_transport.cpp" "src/transport/CMakeFiles/wsc_transport.dir/http_transport.cpp.o" "gcc" "src/transport/CMakeFiles/wsc_transport.dir/http_transport.cpp.o.d"
+  "/root/repo/src/transport/inproc_transport.cpp" "src/transport/CMakeFiles/wsc_transport.dir/inproc_transport.cpp.o" "gcc" "src/transport/CMakeFiles/wsc_transport.dir/inproc_transport.cpp.o.d"
+  "/root/repo/src/transport/soap_http.cpp" "src/transport/CMakeFiles/wsc_transport.dir/soap_http.cpp.o" "gcc" "src/transport/CMakeFiles/wsc_transport.dir/soap_http.cpp.o.d"
+  "/root/repo/src/transport/transport.cpp" "src/transport/CMakeFiles/wsc_transport.dir/transport.cpp.o" "gcc" "src/transport/CMakeFiles/wsc_transport.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/wsc_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/wsc_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/wsc_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/reflect/CMakeFiles/wsc_reflect.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_transport.dir/http_transport.cpp.o"
+  "CMakeFiles/wsc_transport.dir/http_transport.cpp.o.d"
+  "CMakeFiles/wsc_transport.dir/inproc_transport.cpp.o"
+  "CMakeFiles/wsc_transport.dir/inproc_transport.cpp.o.d"
+  "CMakeFiles/wsc_transport.dir/soap_http.cpp.o"
+  "CMakeFiles/wsc_transport.dir/soap_http.cpp.o.d"
+  "CMakeFiles/wsc_transport.dir/transport.cpp.o"
+  "CMakeFiles/wsc_transport.dir/transport.cpp.o.d"
+  "libwsc_transport.a"
+  "libwsc_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

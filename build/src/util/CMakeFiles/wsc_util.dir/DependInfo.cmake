@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/base64.cpp" "src/util/CMakeFiles/wsc_util.dir/base64.cpp.o" "gcc" "src/util/CMakeFiles/wsc_util.dir/base64.cpp.o.d"
+  "/root/repo/src/util/byte_buffer.cpp" "src/util/CMakeFiles/wsc_util.dir/byte_buffer.cpp.o" "gcc" "src/util/CMakeFiles/wsc_util.dir/byte_buffer.cpp.o.d"
+  "/root/repo/src/util/clock.cpp" "src/util/CMakeFiles/wsc_util.dir/clock.cpp.o" "gcc" "src/util/CMakeFiles/wsc_util.dir/clock.cpp.o.d"
+  "/root/repo/src/util/file_store.cpp" "src/util/CMakeFiles/wsc_util.dir/file_store.cpp.o" "gcc" "src/util/CMakeFiles/wsc_util.dir/file_store.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "src/util/CMakeFiles/wsc_util.dir/hash.cpp.o" "gcc" "src/util/CMakeFiles/wsc_util.dir/hash.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/util/CMakeFiles/wsc_util.dir/histogram.cpp.o" "gcc" "src/util/CMakeFiles/wsc_util.dir/histogram.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/wsc_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/wsc_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/util/CMakeFiles/wsc_util.dir/random.cpp.o" "gcc" "src/util/CMakeFiles/wsc_util.dir/random.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/wsc_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/wsc_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/wsc_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/wsc_util.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/util/uri.cpp" "src/util/CMakeFiles/wsc_util.dir/uri.cpp.o" "gcc" "src/util/CMakeFiles/wsc_util.dir/uri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_util.dir/base64.cpp.o"
+  "CMakeFiles/wsc_util.dir/base64.cpp.o.d"
+  "CMakeFiles/wsc_util.dir/byte_buffer.cpp.o"
+  "CMakeFiles/wsc_util.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/wsc_util.dir/clock.cpp.o"
+  "CMakeFiles/wsc_util.dir/clock.cpp.o.d"
+  "CMakeFiles/wsc_util.dir/file_store.cpp.o"
+  "CMakeFiles/wsc_util.dir/file_store.cpp.o.d"
+  "CMakeFiles/wsc_util.dir/hash.cpp.o"
+  "CMakeFiles/wsc_util.dir/hash.cpp.o.d"
+  "CMakeFiles/wsc_util.dir/histogram.cpp.o"
+  "CMakeFiles/wsc_util.dir/histogram.cpp.o.d"
+  "CMakeFiles/wsc_util.dir/logging.cpp.o"
+  "CMakeFiles/wsc_util.dir/logging.cpp.o.d"
+  "CMakeFiles/wsc_util.dir/random.cpp.o"
+  "CMakeFiles/wsc_util.dir/random.cpp.o.d"
+  "CMakeFiles/wsc_util.dir/strings.cpp.o"
+  "CMakeFiles/wsc_util.dir/strings.cpp.o.d"
+  "CMakeFiles/wsc_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/wsc_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/wsc_util.dir/uri.cpp.o"
+  "CMakeFiles/wsc_util.dir/uri.cpp.o.d"
+  "libwsc_util.a"
+  "libwsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

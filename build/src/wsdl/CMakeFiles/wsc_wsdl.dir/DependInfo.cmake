@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsdl/description.cpp" "src/wsdl/CMakeFiles/wsc_wsdl.dir/description.cpp.o" "gcc" "src/wsdl/CMakeFiles/wsc_wsdl.dir/description.cpp.o.d"
+  "/root/repo/src/wsdl/wsdl_writer.cpp" "src/wsdl/CMakeFiles/wsc_wsdl.dir/wsdl_writer.cpp.o" "gcc" "src/wsdl/CMakeFiles/wsc_wsdl.dir/wsdl_writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reflect/CMakeFiles/wsc_reflect.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

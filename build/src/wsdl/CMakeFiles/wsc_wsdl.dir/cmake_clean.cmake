@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_wsdl.dir/description.cpp.o"
+  "CMakeFiles/wsc_wsdl.dir/description.cpp.o.d"
+  "CMakeFiles/wsc_wsdl.dir/wsdl_writer.cpp.o"
+  "CMakeFiles/wsc_wsdl.dir/wsdl_writer.cpp.o.d"
+  "libwsc_wsdl.a"
+  "libwsc_wsdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_wsdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

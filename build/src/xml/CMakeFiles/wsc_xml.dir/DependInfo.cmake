@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xml/dom.cpp" "src/xml/CMakeFiles/wsc_xml.dir/dom.cpp.o" "gcc" "src/xml/CMakeFiles/wsc_xml.dir/dom.cpp.o.d"
+  "/root/repo/src/xml/escape.cpp" "src/xml/CMakeFiles/wsc_xml.dir/escape.cpp.o" "gcc" "src/xml/CMakeFiles/wsc_xml.dir/escape.cpp.o.d"
+  "/root/repo/src/xml/event_sequence.cpp" "src/xml/CMakeFiles/wsc_xml.dir/event_sequence.cpp.o" "gcc" "src/xml/CMakeFiles/wsc_xml.dir/event_sequence.cpp.o.d"
+  "/root/repo/src/xml/sax_parser.cpp" "src/xml/CMakeFiles/wsc_xml.dir/sax_parser.cpp.o" "gcc" "src/xml/CMakeFiles/wsc_xml.dir/sax_parser.cpp.o.d"
+  "/root/repo/src/xml/writer.cpp" "src/xml/CMakeFiles/wsc_xml.dir/writer.cpp.o" "gcc" "src/xml/CMakeFiles/wsc_xml.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsc_xml.dir/dom.cpp.o"
+  "CMakeFiles/wsc_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/wsc_xml.dir/escape.cpp.o"
+  "CMakeFiles/wsc_xml.dir/escape.cpp.o.d"
+  "CMakeFiles/wsc_xml.dir/event_sequence.cpp.o"
+  "CMakeFiles/wsc_xml.dir/event_sequence.cpp.o.d"
+  "CMakeFiles/wsc_xml.dir/sax_parser.cpp.o"
+  "CMakeFiles/wsc_xml.dir/sax_parser.cpp.o.d"
+  "CMakeFiles/wsc_xml.dir/writer.cpp.o"
+  "CMakeFiles/wsc_xml.dir/writer.cpp.o.d"
+  "libwsc_xml.a"
+  "libwsc_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsc_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

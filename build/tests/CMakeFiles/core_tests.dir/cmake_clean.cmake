@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/cache_key_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cache_key_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/cached_value_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/cached_value_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/client_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/client_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/policy_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/policy_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/representation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/representation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/response_cache_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/response_cache_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/revalidation_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/revalidation_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/sharding_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/sharding_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

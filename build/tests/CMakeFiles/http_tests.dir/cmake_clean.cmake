@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_tests.dir/http/cache_headers_test.cpp.o"
+  "CMakeFiles/http_tests.dir/http/cache_headers_test.cpp.o.d"
+  "CMakeFiles/http_tests.dir/http/message_test.cpp.o"
+  "CMakeFiles/http_tests.dir/http/message_test.cpp.o.d"
+  "CMakeFiles/http_tests.dir/http/parser_property_test.cpp.o"
+  "CMakeFiles/http_tests.dir/http/parser_property_test.cpp.o.d"
+  "CMakeFiles/http_tests.dir/http/parser_test.cpp.o"
+  "CMakeFiles/http_tests.dir/http/parser_test.cpp.o.d"
+  "CMakeFiles/http_tests.dir/http/robustness_test.cpp.o"
+  "CMakeFiles/http_tests.dir/http/robustness_test.cpp.o.d"
+  "CMakeFiles/http_tests.dir/http/server_client_test.cpp.o"
+  "CMakeFiles/http_tests.dir/http/server_client_test.cpp.o.d"
+  "http_tests"
+  "http_tests.pdb"
+  "http_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/concurrency_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/concurrency_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/portal/load_sim_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/portal/load_sim_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/portal/portal_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/portal/portal_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/portal/query_string_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/portal/query_string_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

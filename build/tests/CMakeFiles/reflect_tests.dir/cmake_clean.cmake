@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reflect_tests.dir/reflect/algorithms_test.cpp.o"
+  "CMakeFiles/reflect_tests.dir/reflect/algorithms_test.cpp.o.d"
+  "CMakeFiles/reflect_tests.dir/reflect/registry_test.cpp.o"
+  "CMakeFiles/reflect_tests.dir/reflect/registry_test.cpp.o.d"
+  "CMakeFiles/reflect_tests.dir/reflect/roundtrip_property_test.cpp.o"
+  "CMakeFiles/reflect_tests.dir/reflect/roundtrip_property_test.cpp.o.d"
+  "CMakeFiles/reflect_tests.dir/reflect/serialize_test.cpp.o"
+  "CMakeFiles/reflect_tests.dir/reflect/serialize_test.cpp.o.d"
+  "reflect_tests"
+  "reflect_tests.pdb"
+  "reflect_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reflect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soap_wsdl_tests.dir/soap/deserializer_test.cpp.o"
+  "CMakeFiles/soap_wsdl_tests.dir/soap/deserializer_test.cpp.o.d"
+  "CMakeFiles/soap_wsdl_tests.dir/soap/dispatcher_test.cpp.o"
+  "CMakeFiles/soap_wsdl_tests.dir/soap/dispatcher_test.cpp.o.d"
+  "CMakeFiles/soap_wsdl_tests.dir/soap/multiref_test.cpp.o"
+  "CMakeFiles/soap_wsdl_tests.dir/soap/multiref_test.cpp.o.d"
+  "CMakeFiles/soap_wsdl_tests.dir/soap/roundtrip_property_test.cpp.o"
+  "CMakeFiles/soap_wsdl_tests.dir/soap/roundtrip_property_test.cpp.o.d"
+  "CMakeFiles/soap_wsdl_tests.dir/soap/serializer_test.cpp.o"
+  "CMakeFiles/soap_wsdl_tests.dir/soap/serializer_test.cpp.o.d"
+  "CMakeFiles/soap_wsdl_tests.dir/soap/value_reader_test.cpp.o"
+  "CMakeFiles/soap_wsdl_tests.dir/soap/value_reader_test.cpp.o.d"
+  "CMakeFiles/soap_wsdl_tests.dir/wsdl/description_test.cpp.o"
+  "CMakeFiles/soap_wsdl_tests.dir/wsdl/description_test.cpp.o.d"
+  "CMakeFiles/soap_wsdl_tests.dir/wsdl/wsdl_writer_test.cpp.o"
+  "CMakeFiles/soap_wsdl_tests.dir/wsdl/wsdl_writer_test.cpp.o.d"
+  "soap_wsdl_tests"
+  "soap_wsdl_tests.pdb"
+  "soap_wsdl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soap_wsdl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

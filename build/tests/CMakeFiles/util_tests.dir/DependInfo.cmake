@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/base64_test.cpp" "tests/CMakeFiles/util_tests.dir/util/base64_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/base64_test.cpp.o.d"
+  "/root/repo/tests/util/byte_buffer_test.cpp" "tests/CMakeFiles/util_tests.dir/util/byte_buffer_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/byte_buffer_test.cpp.o.d"
+  "/root/repo/tests/util/clock_test.cpp" "tests/CMakeFiles/util_tests.dir/util/clock_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/clock_test.cpp.o.d"
+  "/root/repo/tests/util/file_store_test.cpp" "tests/CMakeFiles/util_tests.dir/util/file_store_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/file_store_test.cpp.o.d"
+  "/root/repo/tests/util/hash_test.cpp" "tests/CMakeFiles/util_tests.dir/util/hash_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/hash_test.cpp.o.d"
+  "/root/repo/tests/util/histogram_test.cpp" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/histogram_test.cpp.o.d"
+  "/root/repo/tests/util/random_test.cpp" "tests/CMakeFiles/util_tests.dir/util/random_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/random_test.cpp.o.d"
+  "/root/repo/tests/util/strings_test.cpp" "tests/CMakeFiles/util_tests.dir/util/strings_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/strings_test.cpp.o.d"
+  "/root/repo/tests/util/thread_pool_test.cpp" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o.d"
+  "/root/repo/tests/util/uri_test.cpp" "tests/CMakeFiles/util_tests.dir/util/uri_test.cpp.o" "gcc" "tests/CMakeFiles/util_tests.dir/util/uri_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/portal/CMakeFiles/wsc_portal.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/wsc_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/wsc_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/wsc_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/wsc_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/wsdl/CMakeFiles/wsc_wsdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/wsc_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/reflect/CMakeFiles/wsc_reflect.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/util/base64_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/base64_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/byte_buffer_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/byte_buffer_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/clock_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/clock_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/file_store_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/file_store_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/hash_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/hash_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/histogram_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/histogram_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/random_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/random_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/strings_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/strings_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/thread_pool_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/uri_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/uri_test.cpp.o.d"
+  "util_tests"
+  "util_tests.pdb"
+  "util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_services.dir/serve_services.cpp.o"
+  "CMakeFiles/serve_services.dir/serve_services.cpp.o.d"
+  "serve_services"
+  "serve_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsdl_export.dir/wsdl_export.cpp.o"
+  "CMakeFiles/wsdl_export.dir/wsdl_export.cpp.o.d"
+  "wsdl_export"
+  "wsdl_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsdl_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -35,7 +35,7 @@ void BM_AutoVsFixed(benchmark::State& state) {
     rep = static_cast<cache::Representation>(mode);
     label = std::string(cache::representation_name(rep));
   }
-  xml::EventSequence scratch;
+  CaptureScratch scratch;
   cache::ResponseCapture capture = op.capture_copy(scratch);
   std::unique_ptr<cache::CachedValue> value =
       cache::make_cached_value(rep, capture);
@@ -59,8 +59,8 @@ void register_all() {
     add("AutoPreferClone", kAutoPreferClone);
     for (Representation rep :
          {Representation::XmlMessage, Representation::SaxEvents,
-          Representation::Serialized, Representation::ReflectionCopy,
-          Representation::CloneCopy}) {
+          Representation::SaxEventsCompact, Representation::Serialized,
+          Representation::ReflectionCopy, Representation::CloneCopy}) {
       if (!cache::applicable(rep, c.response_object.type(), false)) continue;
       std::string tag(cache::representation_name(rep));
       for (char& ch : tag) {

@@ -36,8 +36,11 @@ const Forms& forms() {
         *out.multiref_form.op, "urn:GoogleSearch",
         out.multiref_form.response_object);
     xml::EventRecorder recorder;
-    xml::SaxParser{}.parse(out.multiref_form.response_xml, recorder);
+    xml::CompactEventRecorder compact_recorder;
+    xml::TeeHandler tee(recorder, compact_recorder);
+    xml::SaxParser{}.parse(out.multiref_form.response_xml, tee);
     out.multiref_form.response_events = recorder.take();
+    out.multiref_form.response_compact_events = compact_recorder.take();
     return out;
   }();
   return f;
@@ -47,7 +50,7 @@ void BM_WireFormat(benchmark::State& state) {
   bool multiref = state.range(0) != 0;
   auto rep = static_cast<cache::Representation>(state.range(1));
   const OperationCase& c = multiref ? forms().multiref_form : forms().inline_form;
-  xml::EventSequence scratch;
+  CaptureScratch scratch;
   cache::ResponseCapture capture = c.capture_copy(scratch);
   std::unique_ptr<cache::CachedValue> value =
       cache::make_cached_value(rep, capture);
@@ -70,7 +73,7 @@ int main(int argc, char** argv) {
   for (int multiref : {0, 1}) {
     for (Representation rep :
          {Representation::XmlMessage, Representation::SaxEvents,
-          Representation::ReflectionCopy}) {
+          Representation::SaxEventsCompact, Representation::ReflectionCopy}) {
       std::string tag(cache::representation_name(rep));
       for (char& ch : tag) {
         if (ch == ' ') ch = '_';

@@ -47,7 +47,7 @@ const OperationCase& case_for(std::int64_t results) {
 void BM_Scaling(benchmark::State& state) {
   const OperationCase& c = case_for(state.range(0));
   auto rep = static_cast<cache::Representation>(state.range(1));
-  xml::EventSequence scratch;
+  CaptureScratch scratch;
   cache::ResponseCapture capture = c.capture_copy(scratch);
   std::unique_ptr<cache::CachedValue> value =
       cache::make_cached_value(rep, capture);
@@ -67,8 +67,9 @@ int main(int argc, char** argv) {
   for (std::int64_t results : {1, 5, 10, 20, 50}) {
     for (Representation rep :
          {Representation::XmlMessage, Representation::SaxEvents,
-          Representation::Serialized, Representation::ReflectionCopy,
-          Representation::CloneCopy, Representation::Reference}) {
+          Representation::SaxEventsCompact, Representation::Serialized,
+          Representation::ReflectionCopy, Representation::CloneCopy,
+          Representation::Reference}) {
       std::string tag(cache::representation_name(rep));
       for (char& ch : tag) {
         if (ch == ' ') ch = '_';

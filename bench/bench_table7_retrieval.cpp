@@ -13,6 +13,11 @@
 // clone far cheaper than reflection; reference ~free.  "n/a" cells are
 // representations whose limitations exclude the type (they are skipped
 // here, as in the paper).
+//
+// Beyond the paper: the "SAX events compact" row replays the arena-backed
+// interned recording — same universality as SAX events, expected strictly
+// faster (zero allocations per replayed event).  Results are also written
+// to BENCH_table7.json (row -> ns_per_op) for cross-PR tracking.
 #include <benchmark/benchmark.h>
 
 #include "bench/common.hpp"
@@ -31,7 +36,7 @@ const std::vector<OperationCase>& cases() {
 void BM_Retrieve(benchmark::State& state) {
   const OperationCase& op = cases()[static_cast<std::size_t>(state.range(0))];
   auto rep = static_cast<cache::Representation>(state.range(1));
-  xml::EventSequence scratch;
+  CaptureScratch scratch;
   cache::ResponseCapture capture = op.capture_copy(scratch);
   // Reference requires the §4.2.4 read-only declaration for mutable types;
   // the paper measured it for all three operations.
@@ -49,8 +54,9 @@ void register_all() {
   for (int op = 0; op < 3; ++op) {
     for (Representation rep :
          {Representation::XmlMessage, Representation::SaxEvents,
-          Representation::Serialized, Representation::ReflectionCopy,
-          Representation::CloneCopy, Representation::Reference}) {
+          Representation::SaxEventsCompact, Representation::Serialized,
+          Representation::ReflectionCopy, Representation::CloneCopy,
+          Representation::Reference}) {
       const auto& c = cases()[static_cast<std::size_t>(op)];
       // Table 7 n/a cells: skip representations the type cannot support
       // (read_only declared true, matching the paper's reference row).
@@ -69,12 +75,30 @@ void register_all() {
   }
 }
 
+/// Console output as usual, plus every run captured for BENCH_table7.json.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      json_.add(run.benchmark_name(), "ns_per_op", run.GetAdjustedRealTime());
+    }
+  }
+  const BenchJson& json() const { return json_; }
+
+ private:
+  BenchJson json_;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   register_all();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.json().write_file("BENCH_table7.json");
   benchmark::Shutdown();
   return 0;
 }

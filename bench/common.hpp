@@ -1,8 +1,11 @@
 // Shared setup for the reproduction benchmarks: the three Google
-// operations of §5.1 with the paper's request/response shapes, plus helpers
-// to capture responses in every representation.
+// operations of §5.1 with the paper's request/response shapes, helpers to
+// capture responses in every representation, and the machine-readable
+// BENCH_*.json reporter that tracks the perf trajectory across PRs.
 #pragma once
 
+#include <cstdio>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,12 +14,20 @@
 #include "core/cached_value.hpp"
 #include "services/google/service.hpp"
 #include "soap/serializer.hpp"
+#include "xml/compact_event_sequence.hpp"
 #include "xml/event_sequence.hpp"
 #include "xml/sax_parser.hpp"
 
 namespace wsc::bench {
 
 using reflect::Object;
+
+/// Per-iteration scratch for representations that consume their capture
+/// (both SAX forms move the recording into the CachedValue).
+struct CaptureScratch {
+  xml::EventSequence events;
+  xml::CompactEventSequence compact_events;
+};
 
 /// One §5.1 operation: its request (for Tables 6/8) and its captured
 /// response (for Tables 7/9).
@@ -27,13 +38,16 @@ struct OperationCase {
   std::shared_ptr<const wsdl::OperationInfo> op;
   std::string response_xml;
   xml::EventSequence response_events;
+  xml::CompactEventSequence response_compact_events;
   Object response_object;
 
-  cache::ResponseCapture capture_copy(xml::EventSequence& scratch) const {
-    scratch = response_events;  // fresh copy, SaxEventsValue consumes it
+  cache::ResponseCapture capture_copy(CaptureScratch& scratch) const {
+    scratch.events = response_events;  // fresh copies; the value consumes
+    scratch.compact_events = response_compact_events;
     cache::ResponseCapture c;
     c.response_xml = &response_xml;
-    c.events = &scratch;
+    c.events = &scratch.events;
+    c.compact_events = &scratch.compact_events;
     c.object = response_object;
     c.op = op;
     return c;
@@ -56,8 +70,11 @@ inline OperationCase make_case(const char* display, const char* op_name,
   c.response_xml =
       soap::serialize_response(*c.op, "urn:GoogleSearch", c.response_object);
   xml::EventRecorder recorder;
-  xml::SaxParser{}.parse(c.response_xml, recorder);
+  xml::CompactEventRecorder compact_recorder;
+  xml::TeeHandler tee(recorder, compact_recorder);
+  xml::SaxParser{}.parse(c.response_xml, tee);
   c.response_events = recorder.take();
+  c.response_compact_events = compact_recorder.take();
   return c;
 }
 
@@ -110,5 +127,48 @@ inline std::vector<OperationCase> google_cases() {
       Object::make(backend.search("web services response caching", 0, 10))));
   return cases;
 }
+
+/// Machine-readable bench output: row -> metric -> value, written as
+/// BENCH_<table>.json next to the binary's working directory so the perf
+/// trajectory is tracked across PRs (compared by CI/scripts, not eyes).
+class BenchJson {
+ public:
+  void add(const std::string& row, const std::string& metric, double value) {
+    rows_[row][metric] = value;
+  }
+
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f, "{\n");
+    std::size_t i = 0;
+    for (const auto& [row, metrics] : rows_) {
+      std::fprintf(f, "  \"%s\": {", escape(row).c_str());
+      std::size_t j = 0;
+      for (const auto& [metric, value] : metrics) {
+        std::fprintf(f, "%s\"%s\": %.6g", j++ ? ", " : "",
+                     escape(metric).c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", ++i < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::map<std::string, std::map<std::string, double>> rows_;
+};
 
 }  // namespace wsc::bench

@@ -46,9 +46,13 @@ inline cache::CachePolicy figure_policy(cache::Representation rep) {
 
 inline const std::vector<cache::Representation>& figure_representations() {
   static const std::vector<cache::Representation> reps = {
-      cache::Representation::XmlMessage,    cache::Representation::SaxEvents,
-      cache::Representation::Serialized,    cache::Representation::ReflectionCopy,
-      cache::Representation::CloneCopy,     cache::Representation::Reference,
+      cache::Representation::XmlMessage,
+      cache::Representation::SaxEvents,
+      cache::Representation::SaxEventsCompact,
+      cache::Representation::Serialized,
+      cache::Representation::ReflectionCopy,
+      cache::Representation::CloneCopy,
+      cache::Representation::Reference,
   };
   return reps;
 }

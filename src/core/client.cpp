@@ -65,7 +65,7 @@ reflect::Object CachingServiceClient::invoke(
 
   if (!options_.caching_enabled || !policy.cacheable) {
     cache_->counters().on_uncacheable();
-    return remote_call(request, op, /*record_events=*/false).object;
+    return remote_call(request, op, RecordMode::None).object;
   }
 
   CacheKey key = keygen_->generate(request);
@@ -101,8 +101,7 @@ reflect::Object CachingServiceClient::invoke(
   }
 
   CallResult result =
-      remote_call(request, op, /*record_events=*/rep == Representation::SaxEvents,
-                  revalidate_since);
+      remote_call(request, op, record_mode_for(rep), revalidate_since);
 
   if (result.not_modified) {
     // 304: the stale representation is still current — renew its lease and
@@ -112,8 +111,7 @@ reflect::Object CachingServiceClient::invoke(
         return value->retrieve();
     }
     // The entry was evicted while we revalidated: refetch unconditionally.
-    result = remote_call(request, op,
-                         /*record_events=*/rep == Representation::SaxEvents);
+    result = remote_call(request, op, record_mode_for(rep));
   }
   if (had_stale_entry) cache_->counters().on_miss();  // stale + changed
 
@@ -123,6 +121,7 @@ reflect::Object CachingServiceClient::invoke(
     ResponseCapture capture;
     capture.response_xml = &result.response_xml;
     capture.events = &result.events;
+    capture.compact_events = &result.compact_events;
     capture.object = result.object;
     capture.op = share_op(op);
     cache_->store(key, make_cached_value(rep, capture), *ttl,
@@ -136,7 +135,7 @@ reflect::Object CachingServiceClient::invoke(
 
 CachingServiceClient::CallResult CachingServiceClient::remote_call(
     const soap::RpcRequest& request, const wsdl::OperationInfo& op,
-    bool record_events, std::optional<std::chrono::seconds> if_modified_since) {
+    RecordMode record, std::optional<std::chrono::seconds> if_modified_since) {
   CallResult out;
   transport::WireRequest wire_request;
   wire_request.body = soap::serialize_request(request);
@@ -152,13 +151,18 @@ CachingServiceClient::CallResult CachingServiceClient::remote_call(
   }
 
   soap::ResponseReader reader(op);
-  if (record_events) {
+  if (record == RecordMode::Legacy) {
     // One parse feeds both the deserializer and the recorder (miss path of
-    // the SAX representation never tokenizes twice).
+    // the SAX representations never tokenizes twice).
     xml::EventRecorder recorder;
     xml::TeeHandler tee(reader, recorder);
     xml::SaxParser{}.parse(out.response_xml, tee);
     out.events = recorder.take();
+  } else if (record == RecordMode::Compact) {
+    xml::CompactEventRecorder recorder;
+    xml::TeeHandler tee(reader, recorder);
+    xml::SaxParser{}.parse(out.response_xml, tee);
+    out.compact_events = recorder.take();
   } else {
     xml::SaxParser{}.parse(out.response_xml, reader);
   }

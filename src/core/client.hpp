@@ -76,18 +76,29 @@ class CachingServiceClient {
   }
 
  private:
+  /// What the miss path tees the parse into, decided per-representation
+  /// BEFORE parsing so the response is never tokenized twice.
+  enum class RecordMode { None, Legacy, Compact };
+
   struct CallResult {
     reflect::Object object;
     std::string response_xml;
-    xml::EventSequence events;  // only filled when requested
+    xml::EventSequence events;                 // filled in Legacy mode
+    xml::CompactEventSequence compact_events;  // filled in Compact mode
     http::CacheDirectives directives;
     bool not_modified = false;  // 304 answer to a conditional request
     std::optional<std::chrono::seconds> last_modified;
   };
 
+  static RecordMode record_mode_for(Representation rep) {
+    if (rep == Representation::SaxEvents) return RecordMode::Legacy;
+    if (rep == Representation::SaxEventsCompact) return RecordMode::Compact;
+    return RecordMode::None;
+  }
+
   CallResult remote_call(
       const soap::RpcRequest& request, const wsdl::OperationInfo& op,
-      bool record_events,
+      RecordMode record,
       std::optional<std::chrono::seconds> if_modified_since = std::nullopt);
 
   soap::RpcRequest build_request(const std::string& operation,

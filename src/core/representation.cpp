@@ -10,6 +10,7 @@ std::string_view representation_name(Representation r) {
   switch (r) {
     case Representation::XmlMessage: return "XML message";
     case Representation::SaxEvents: return "SAX events sequence";
+    case Representation::SaxEventsCompact: return "SAX events compact";
     case Representation::Serialized: return "Java serialization";
     case Representation::ReflectionCopy: return "Copy by reflection";
     case Representation::CloneCopy: return "Copy by clone";
@@ -33,6 +34,7 @@ bool applicable(Representation r, const reflect::TypeInfo& type,
   switch (r) {
     case Representation::XmlMessage:
     case Representation::SaxEvents:
+    case Representation::SaxEventsCompact:
       return true;  // "Limitation: None"
     case Representation::Serialized:
       return type.is_deeply_serializable();
@@ -55,7 +57,7 @@ Representation auto_select(const reflect::TypeInfo& type, bool read_only,
   if (reflect::supports_reflection_copy(type))
     return Representation::ReflectionCopy;
   if (type.is_deeply_serializable()) return Representation::Serialized;
-  return Representation::SaxEvents;
+  return Representation::SaxEventsCompact;
 }
 
 }  // namespace wsc::cache

@@ -10,13 +10,14 @@ namespace wsc::cache {
 
 /// How a response is stored in the cache (Table 3, fastest-retrieval last).
 enum class Representation : std::uint8_t {
-  XmlMessage,      // the response XML document; reparse on every hit
-  SaxEvents,       // recorded parse events; replay into the deserializer
-  Serialized,      // binary-serialized object; deserialize on hit
-  ReflectionCopy,  // deep copy via metadata, copy again on hit
-  CloneCopy,       // generated deep clone, clone again on hit
-  Reference,       // share the object (read-only / immutable only)
-  Auto,            // let the middleware pick per section 6
+  XmlMessage,        // the response XML document; reparse on every hit
+  SaxEvents,         // recorded parse events; replay into the deserializer
+  SaxEventsCompact,  // arena-interned parse events; zero-copy replay
+  Serialized,        // binary-serialized object; deserialize on hit
+  ReflectionCopy,    // deep copy via metadata, copy again on hit
+  CloneCopy,         // generated deep clone, clone again on hit
+  Reference,         // share the object (read-only / immutable only)
+  Auto,              // let the middleware pick per section 6
 };
 
 /// How cache keys are generated from requests (Table 2).
@@ -39,10 +40,15 @@ bool applicable(Representation r, const reflect::TypeInfo& type,
 ///   a) immutable (or declared read-only)     -> Reference
 ///   b) bean-type / array-type                -> ReflectionCopy
 ///   c) serializable                          -> Serialized
-///   d) anything else                         -> SaxEvents
+///   d) anything else                         -> SaxEventsCompact
 /// With `prefer_clone`, cloneable types take CloneCopy before rule (b) —
 /// the paper's "should be easy for the WSDL compiler to add a proper deep
 /// clone" extension, measured in the ablation bench.
+///
+/// Rule (d) re-derived for the compact representation: it dominates the
+/// legacy SaxEvents on both axes Tables 7/9 measure (replay latency and
+/// bytes/entry), so the universal fallback is always the compact form;
+/// legacy SaxEvents stays selectable explicitly for comparison benches.
 Representation auto_select(const reflect::TypeInfo& type, bool read_only,
                            bool prefer_clone = false);
 

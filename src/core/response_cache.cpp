@@ -34,8 +34,11 @@ std::shared_ptr<const CachedValue> ResponseCache::lookup(const CacheKey& key) {
     stats_.on_miss();
     return nullptr;
   }
-  // Refresh LRU position.
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  // Refresh LRU position.  A repeated hot key is already at the front —
+  // the common case under zipfian traffic — and splice-to-self, while a
+  // no-op, still costs pointer chasing under the shard lock; skip it.
+  if (it->second.lru_it != shard.lru.begin())
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
   stats_.on_hit();
   return it->second.value;
 }
@@ -47,17 +50,24 @@ void ResponseCache::store(const CacheKey& key,
   std::size_t bytes = key.memory_size() + value->memory_size();
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mu);
-  auto it = shard.map.find(key);
-  if (it != shard.map.end()) erase_locked(shard, it);
-
-  shard.lru.push_front(key);
-  Entry entry;
+  // One hash lookup for both the insert and the replace case: replacing an
+  // entry updates it in place (and reuses its LRU node) instead of the old
+  // erase-then-reinsert, which hashed the key twice and reallocated the
+  // node.
+  auto [it, inserted] = shard.map.try_emplace(key);
+  Entry& entry = it->second;
+  if (inserted) {
+    shard.lru.push_front(key);
+    entry.lru_it = shard.lru.begin();
+  } else {
+    shard.bytes -= entry.bytes;
+    if (entry.lru_it != shard.lru.begin())
+      shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_it);
+  }
   entry.value = std::move(value);
   entry.expiry = clock_->now() + ttl;
   entry.last_modified = last_modified;
   entry.bytes = bytes;
-  entry.lru_it = shard.lru.begin();
-  shard.map.emplace(key, std::move(entry));
   shard.bytes += bytes;
   stats_.on_store();
   evict_for_budget_locked(shard);
@@ -77,7 +87,8 @@ ResponseCache::StaleLookup ResponseCache::lookup_for_revalidation(
   out.fresh = clock_->now() < it->second.expiry;
   out.last_modified = it->second.last_modified;
   if (out.fresh) {
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    if (it->second.lru_it != shard.lru.begin())
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
     stats_.on_hit();
   }
   // Stale entries: outcome (refresh vs re-store vs drop) is the caller's.
@@ -90,7 +101,8 @@ bool ResponseCache::refresh(const CacheKey& key, std::chrono::milliseconds ttl) 
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return false;
   it->second.expiry = clock_->now() + ttl;
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  if (it->second.lru_it != shard.lru.begin())
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
   stats_.on_revalidation();
   return true;
 }

@@ -29,7 +29,8 @@ class ValueReaderHandler final : public xml::ContentHandler {
 /// Resolves href ids against the captured multiRef subtrees, recursively.
 class MultirefResolver final : public RefResolver {
  public:
-  explicit MultirefResolver(const std::map<std::string, xml::EventSequence>& refs)
+  explicit MultirefResolver(
+      const std::map<std::string, xml::CompactEventSequence>& refs)
       : refs_(refs) {}
 
   void fill(const reflect::TypeInfo& type, void* target,
@@ -51,7 +52,7 @@ class MultirefResolver final : public RefResolver {
   }
 
  private:
-  const std::map<std::string, xml::EventSequence>& refs_;
+  const std::map<std::string, xml::CompactEventSequence>& refs_;
   std::set<std::string> in_progress_;
 };
 

@@ -15,7 +15,7 @@
 #include "soap/message.hpp"
 #include "soap/value_reader.hpp"
 #include "wsdl/description.hpp"
-#include "xml/event_sequence.hpp"
+#include "xml/compact_event_sequence.hpp"
 #include "xml/sax.hpp"
 
 namespace wsc::soap {
@@ -45,9 +45,11 @@ class ResponseReader final : public xml::ContentHandler {
   std::optional<ValueReader> value_;
   bool value_done_ = false;
 
-  // multiRef capture: id -> recorded children events.
-  std::map<std::string, xml::EventSequence> multirefs_;
-  std::optional<xml::EventRecorder> mr_recorder_;
+  // multiRef capture: id -> recorded children events (compact arena form —
+  // href graphs repeat the same element names per entry, and the capture
+  // lives only for the parse, so cheap recording matters more than reuse).
+  std::map<std::string, xml::CompactEventSequence> multirefs_;
+  std::optional<xml::CompactEventRecorder> mr_recorder_;
   std::string mr_id_;
   int mr_depth_ = 0;
 

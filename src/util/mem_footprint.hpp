@@ -1,0 +1,42 @@
+// Honest heap-footprint accounting for cache-entry byte budgets (Table 9).
+//
+// The cache's byte budget and the Table 9 comparison are only meaningful if
+// every representation reports what it actually costs the allocator, not
+// just payload bytes.  Two effects the naive `capacity()` sum misses:
+//
+//   * small-string optimisation: an SSO string owns NO heap block, so its
+//     capacity() must not be billed a second time (the inline buffer is
+//     already inside sizeof(std::string), which the caller counts as part
+//     of its struct);
+//   * allocation overhead: every heap block pays the allocator's header
+//     and size-class rounding on top of the requested bytes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wsc::util {
+
+/// Per-heap-block allocator cost: glibc malloc bookkeeping plus typical
+/// size-class rounding.  A deliberate flat estimate — the point is to stop
+/// pretending heap blocks are free, not to model one allocator exactly.
+inline constexpr std::size_t kAllocOverhead = 16;
+
+/// Heap bytes owned by a std::string, excluding sizeof(std::string) itself
+/// (the caller counts that as part of the enclosing struct).  SSO strings
+/// own no heap block at all.
+inline std::size_t string_footprint(const std::string& s) {
+  if (s.capacity() <= std::string().capacity()) return 0;  // inline buffer
+  return s.capacity() + 1 + kAllocOverhead;  // +1: the NUL the block carries
+}
+
+/// Heap bytes owned by a vector's backing array (element payload only;
+/// element-owned heap is the caller's to add).
+template <typename T>
+std::size_t vector_footprint(const std::vector<T>& v) {
+  if (v.capacity() == 0) return 0;
+  return v.capacity() * sizeof(T) + kAllocOverhead;
+}
+
+}  // namespace wsc::util

@@ -1,5 +1,7 @@
 #include "xml/event_sequence.hpp"
 
+#include "util/mem_footprint.hpp"
+
 namespace wsc::xml {
 
 void EventSequence::deliver(ContentHandler& handler) const {
@@ -15,15 +17,19 @@ void EventSequence::deliver(ContentHandler& handler) const {
 }
 
 std::size_t EventSequence::memory_size() const {
-  std::size_t total = sizeof(EventSequence) + events_.capacity() * sizeof(Event);
+  // Honest accounting (Table 9): each std::string's inline header is part
+  // of the struct size already counted, SSO strings own no heap block, and
+  // every real heap block pays allocator overhead (util/mem_footprint.hpp).
+  std::size_t total = sizeof(EventSequence) + util::vector_footprint(events_);
   auto qname_size = [](const QName& q) {
-    return q.uri.capacity() + q.local.capacity() + q.raw.capacity();
+    return util::string_footprint(q.uri) + util::string_footprint(q.local) +
+           util::string_footprint(q.raw);
   };
   for (const Event& e : events_) {
-    total += qname_size(e.name) + e.text.capacity() +
-             e.attrs.capacity() * sizeof(Attribute);
+    total += qname_size(e.name) + util::string_footprint(e.text) +
+             util::vector_footprint(e.attrs);
     for (const Attribute& a : e.attrs)
-      total += qname_size(a.name) + a.value.capacity();
+      total += qname_size(a.name) + util::string_footprint(a.value);
   }
   return total;
 }

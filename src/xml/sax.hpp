@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/hash.hpp"
+
 namespace wsc::xml {
 
 /// Expanded element name after namespace processing.
@@ -35,8 +37,35 @@ struct Attribute {
 
 using Attributes = std::vector<Attribute>;
 
+/// Content hash of a QName, for interning tables (CompactEventSequence
+/// dedups the handful of names a SOAP response repeats hundreds of times).
+inline std::uint64_t qname_hash(const QName& q) {
+  std::uint64_t h = util::fnv1a(q.uri);
+  h = util::hash_combine(h, util::fnv1a(q.local));
+  return util::hash_combine(h, util::fnv1a(q.raw));
+}
+
+/// Content hash of a whole attribute list (order-sensitive, as XML
+/// attribute order is preserved by the parser and the writer).
+inline std::uint64_t attributes_hash(const Attributes& attrs) {
+  std::uint64_t h = util::kFnvOffset;
+  for (const Attribute& a : attrs) {
+    h = util::hash_combine(h, qname_hash(a.name));
+    h = util::hash_combine(h, util::fnv1a(a.value));
+  }
+  return h;
+}
+
 /// Receiver of parse events.  Default implementations ignore everything so
 /// handlers override only what they need.
+///
+/// Lifetime contract (identical to SAX2): every reference/view passed to a
+/// callback — the QName, the Attributes, the characters() text — is only
+/// guaranteed valid FOR THE DURATION OF THAT CALLBACK.  Handlers that keep
+/// data must copy it.  Live-parser events point into parser scratch;
+/// replayed CompactEventSequence events point into the sequence's arena and
+/// interning tables (valid while the sequence lives, but handlers must not
+/// rely on that).
 class ContentHandler {
  public:
   virtual ~ContentHandler() = default;

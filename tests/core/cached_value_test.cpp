@@ -30,6 +30,7 @@ std::shared_ptr<const wsdl::OperationInfo> shared_op(const char* name) {
 struct Captured {
   std::string xml;
   xml::EventSequence events;
+  xml::CompactEventSequence compact_events;
   Object object;
   std::shared_ptr<const wsdl::OperationInfo> op;
 
@@ -37,6 +38,7 @@ struct Captured {
     ResponseCapture c;
     c.response_xml = &xml;
     c.events = &events;
+    c.compact_events = &compact_events;
     c.object = object;
     c.op = op;
     return c;
@@ -49,8 +51,11 @@ Captured capture_response(const char* op_name, Object object) {
   c.object = std::move(object);
   c.xml = soap::serialize_response(*c.op, "urn:Test", c.object);
   xml::EventRecorder recorder;
-  xml::SaxParser{}.parse(c.xml, recorder);
+  xml::CompactEventRecorder compact_recorder;
+  xml::TeeHandler tee(recorder, compact_recorder);
+  xml::SaxParser{}.parse(c.xml, tee);
   c.events = recorder.take();
+  c.compact_events = compact_recorder.take();
   return c;
 }
 
@@ -89,6 +94,7 @@ TEST_P(AllRepresentations, MemorySizeNonTrivial) {
 INSTANTIATE_TEST_SUITE_P(
     Representations, AllRepresentations,
     ::testing::Values(Representation::XmlMessage, Representation::SaxEvents,
+                      Representation::SaxEventsCompact,
                       Representation::Serialized,
                       Representation::ReflectionCopy,
                       Representation::CloneCopy, Representation::Reference),
@@ -145,6 +151,7 @@ TEST_P(IsolatedRepresentations, RetrievalsAreStorageIndependent) {
 INSTANTIATE_TEST_SUITE_P(
     CopyingRepresentations, IsolatedRepresentations,
     ::testing::Values(Representation::XmlMessage, Representation::SaxEvents,
+                      Representation::SaxEventsCompact,
                       Representation::Serialized,
                       Representation::ReflectionCopy,
                       Representation::CloneCopy));

@@ -125,6 +125,7 @@ TEST_P(ClientRepresentations, HitReturnsEqualObject) {
 INSTANTIATE_TEST_SUITE_P(
     Representations, ClientRepresentations,
     ::testing::Values(Representation::XmlMessage, Representation::SaxEvents,
+                      Representation::SaxEventsCompact,
                       Representation::Serialized,
                       Representation::ReflectionCopy, Representation::CloneCopy,
                       Representation::Auto));

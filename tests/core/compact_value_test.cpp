@@ -1,0 +1,118 @@
+// Memory accounting for the compact SAX representation on the paper's real
+// fixtures (§5.1 Google operations, Table 1 Amazon search): the arena form
+// must cost at most half the legacy string-soup bytes on the GoogleSearch
+// response and never more on any fixture — under the honest memory_size()
+// accounting (heap capacities + per-block overhead, SSO strings free).
+#include <gtest/gtest.h>
+
+#include "bench/common.hpp"
+#include "core/cached_value.hpp"
+#include "reflect/algorithms.hpp"
+#include "services/amazon/service.hpp"
+#include "soap/serializer.hpp"
+#include "xml/sax_parser.hpp"
+
+namespace wsc::cache {
+namespace {
+
+using bench::CaptureScratch;
+using bench::OperationCase;
+
+const std::vector<OperationCase>& cases() {
+  static const std::vector<OperationCase> c = bench::google_cases();
+  return c;
+}
+
+std::unique_ptr<CachedValue> value_for(const OperationCase& c,
+                                       Representation rep,
+                                       CaptureScratch& scratch) {
+  ResponseCapture capture = c.capture_copy(scratch);
+  return make_cached_value(rep, capture);
+}
+
+TEST(CompactValueFootprintTest, AtMostHalfOfLegacyOnGoogleSearch) {
+  // The ISSUE acceptance bar: >= 2x lower memory_size() on the large,
+  // complex GoogleSearch response (few distinct QNames, many repeats).
+  const OperationCase& search = cases()[2];
+  CaptureScratch s1, s2;
+  auto legacy = value_for(search, Representation::SaxEvents, s1);
+  auto compact = value_for(search, Representation::SaxEventsCompact, s2);
+  EXPECT_LE(compact->memory_size() * 2, legacy->memory_size())
+      << "compact=" << compact->memory_size()
+      << " legacy=" << legacy->memory_size();
+}
+
+TEST(CompactValueFootprintTest, NeverLargerThanLegacyOnAnyGoogleFixture) {
+  for (const OperationCase& c : cases()) {
+    CaptureScratch s1, s2;
+    auto legacy = value_for(c, Representation::SaxEvents, s1);
+    auto compact = value_for(c, Representation::SaxEventsCompact, s2);
+    EXPECT_LE(compact->memory_size(), legacy->memory_size()) << c.display;
+  }
+}
+
+TEST(CompactValueFootprintTest, SequencesAgreeWithValueAccounting) {
+  // The CachedValue wrapper adds only its own fixed header to the
+  // sequence's self-reported footprint.
+  const OperationCase& search = cases()[2];
+  CaptureScratch s;
+  auto compact = value_for(search, Representation::SaxEventsCompact, s);
+  EXPECT_GE(compact->memory_size(),
+            search.response_compact_events.memory_size());
+  EXPECT_LE(compact->memory_size(),
+            search.response_compact_events.memory_size() + 256);
+}
+
+TEST(CompactValueTest, RetrieveEqualsOriginalOnGoogleFixtures) {
+  for (const OperationCase& c : cases()) {
+    CaptureScratch s;
+    auto compact = value_for(c, Representation::SaxEventsCompact, s);
+    EXPECT_TRUE(reflect::deep_equals(compact->retrieve(), c.response_object))
+        << c.display;
+  }
+}
+
+TEST(CompactValueTest, FactoryRequiresCompactCapture) {
+  const OperationCase& c = cases()[0];
+  CaptureScratch s;
+  ResponseCapture capture = c.capture_copy(s);
+  capture.compact_events = nullptr;  // middleware recorded no compact form
+  EXPECT_THROW(make_cached_value(Representation::SaxEventsCompact, capture),
+               Error);
+}
+
+TEST(CompactValueFootprintTest, AmazonSearchFixture) {
+  // The Table-1 service: a KeywordSearch response (bean with a repeated
+  // item list) behaves like GoogleSearch — compact at most half.
+  services::amazon::AmazonBackend backend;
+  auto desc = services::amazon::amazon_description();
+  std::shared_ptr<const wsdl::OperationInfo> op{
+      desc, &desc->require_operation("KeywordSearch")};
+  reflect::Object response = reflect::Object::make(
+      backend.search("KeywordSearch", "web services caching", 1));
+  std::string xml =
+      soap::serialize_response(*op, "urn:PI/DevCentral/SoapAPI", response);
+
+  xml::EventRecorder legacy_rec;
+  xml::CompactEventRecorder compact_rec;
+  xml::TeeHandler tee(legacy_rec, compact_rec);
+  xml::SaxParser{}.parse(xml, tee);
+  xml::EventSequence legacy = legacy_rec.take();
+  xml::CompactEventSequence compact = compact_rec.take();
+
+  EXPECT_LE(compact.memory_size() * 2, legacy.memory_size())
+      << "compact=" << compact.memory_size()
+      << " legacy=" << legacy.memory_size();
+
+  // And the compact value still round-trips the Amazon bean.
+  ResponseCapture capture;
+  capture.response_xml = &xml;
+  capture.compact_events = &compact;
+  capture.object = response;
+  capture.op = op;
+  auto value = make_cached_value(Representation::SaxEventsCompact, capture);
+  EXPECT_TRUE(reflect::deep_equals(value->retrieve(), response));
+}
+
+}  // namespace
+}  // namespace wsc::cache

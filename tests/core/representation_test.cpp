@@ -81,8 +81,10 @@ TEST_F(RepresentationFixture, AutoSelectFollowsSection6Order) {
   EXPECT_EQ(auto_select(type_of<std::vector<std::uint8_t>>(), false),
             Representation::ReflectionCopy);
   // c) serializable (but not bean/array): Opaque is neither -> d
-  // d) fallback -> SAX events
-  EXPECT_EQ(auto_select(type_of<Opaque>(), false), Representation::SaxEvents);
+  // d) fallback -> compact SAX events (the legacy string-soup form stays
+  //    selectable explicitly, but auto never picks it any more)
+  EXPECT_EQ(auto_select(type_of<Opaque>(), false),
+            Representation::SaxEventsCompact);
 }
 
 TEST_F(RepresentationFixture, AutoSelectSerializableNonBean) {
@@ -127,6 +129,8 @@ TEST_F(RepresentationFixture, AutoIsAlwaysApplicable) {
 TEST(RepresentationNamesTest, AllNamed) {
   EXPECT_EQ(representation_name(Representation::XmlMessage), "XML message");
   EXPECT_EQ(representation_name(Representation::SaxEvents), "SAX events sequence");
+  EXPECT_EQ(representation_name(Representation::SaxEventsCompact),
+            "SAX events compact");
   EXPECT_EQ(representation_name(Representation::Serialized), "Java serialization");
   EXPECT_EQ(representation_name(Representation::ReflectionCopy), "Copy by reflection");
   EXPECT_EQ(representation_name(Representation::CloneCopy), "Copy by clone");

@@ -149,6 +149,7 @@ TEST(EndToEndTest, MultirefServerWithEveryCacheRepresentation) {
 
   for (cache::Representation rep :
        {cache::Representation::XmlMessage, cache::Representation::SaxEvents,
+        cache::Representation::SaxEventsCompact,
         cache::Representation::Serialized, cache::Representation::ReflectionCopy,
         cache::Representation::CloneCopy, cache::Representation::Auto}) {
     cache::CachingServiceClient::Options options;

@@ -85,6 +85,7 @@ TEST(PortalTest, AllRepresentationsRenderIdenticalPages) {
   std::string reference;
   for (cache::Representation rep :
        {cache::Representation::XmlMessage, cache::Representation::SaxEvents,
+        cache::Representation::SaxEventsCompact,
         cache::Representation::Serialized, cache::Representation::ReflectionCopy,
         cache::Representation::CloneCopy, cache::Representation::Auto}) {
     PortalSite portal = make_portal(backend, rep);

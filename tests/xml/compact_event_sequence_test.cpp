@@ -1,0 +1,285 @@
+// Compact event sequences: the arena-backed recording must be a faithful,
+// cheaper drop-in for the legacy EventSequence — identical replay event for
+// event, identical DOM after a full round trip, strictly smaller footprint
+// on repetitive documents, and ZERO heap allocations per event on replay.
+#include "xml/compact_event_sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <iterator>
+#include <new>
+
+#include "util/error.hpp"
+#include "util/random.hpp"
+#include "xml/dom.hpp"
+#include "xml/sax_parser.hpp"
+
+// ---- global allocation counter (for the zero-alloc replay assertion) --------
+//
+// Replacing the global operator new/delete is binary-wide; the counter only
+// ticks while a test arms it, so the other suites in xml_tests are
+// unaffected (beyond going through this malloc-backed implementation).
+
+namespace {
+std::atomic<bool> g_count_allocs{false};
+std::atomic<std::size_t> g_alloc_count{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed))
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace wsc::xml {
+namespace {
+
+CompactEventSequence record_compact(std::string_view doc) {
+  CompactEventRecorder recorder;
+  SaxParser{}.parse(doc, recorder);
+  return recorder.take();
+}
+
+EventSequence record_legacy(std::string_view doc) {
+  EventRecorder recorder;
+  SaxParser{}.parse(doc, recorder);
+  return recorder.take();
+}
+
+/// Replay a compact sequence through the legacy recorder so the result can
+/// be compared event for event against a direct legacy recording.
+EventSequence replay_to_legacy(const CompactEventSequence& seq) {
+  EventRecorder recorder;
+  seq.deliver(recorder);
+  return recorder.take();
+}
+
+void expect_same_events(const EventSequence& a, const EventSequence& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Event& ea = a.events()[i];
+    const Event& eb = b.events()[i];
+    ASSERT_EQ(ea.type, eb.type) << "event " << i;
+    EXPECT_EQ(ea.name.uri, eb.name.uri) << "event " << i;
+    EXPECT_EQ(ea.name.local, eb.name.local) << "event " << i;
+    EXPECT_EQ(ea.name.raw, eb.name.raw) << "event " << i;
+    EXPECT_EQ(ea.text, eb.text) << "event " << i;
+    ASSERT_EQ(ea.attrs.size(), eb.attrs.size()) << "event " << i;
+    for (std::size_t j = 0; j < ea.attrs.size(); ++j) {
+      EXPECT_EQ(ea.attrs[j].name.raw, eb.attrs[j].name.raw);
+      EXPECT_EQ(ea.attrs[j].name.uri, eb.attrs[j].name.uri);
+      EXPECT_EQ(ea.attrs[j].name.local, eb.attrs[j].name.local);
+      EXPECT_EQ(ea.attrs[j].value, eb.attrs[j].value);
+    }
+  }
+}
+
+TEST(CompactEventSequenceTest, RecordsAllEventTypes) {
+  CompactEventSequence seq = record_compact("<a k=\"v\">text<b/></a>");
+  ASSERT_EQ(seq.size(), 7u);
+  using E = EventType;
+  EXPECT_EQ(seq.events()[0].type, E::StartDocument);
+  EXPECT_EQ(seq.events()[1].type, E::StartElement);
+  EXPECT_EQ(seq.events()[2].type, E::Characters);
+  EXPECT_EQ(seq.events()[3].type, E::StartElement);
+  EXPECT_EQ(seq.events()[4].type, E::EndElement);
+  EXPECT_EQ(seq.events()[5].type, E::EndElement);
+  EXPECT_EQ(seq.events()[6].type, E::EndDocument);
+  EXPECT_EQ(seq.arena_bytes(), 4u);  // "text"
+}
+
+TEST(CompactEventSequenceTest, ReplayBuildsIdenticalDom) {
+  const char* doc = "<r a=\"1\"><x>one</x><y ns=\"2\">two &amp; three</y></r>";
+  CompactEventSequence seq = record_compact(doc);
+
+  DomBuilder from_replay;
+  seq.deliver(from_replay);
+  Document replayed = from_replay.take();
+
+  Document direct = parse_document(doc);
+  EXPECT_EQ(replayed.root->to_xml(), direct.root->to_xml());
+}
+
+TEST(CompactEventSequenceTest, ReplayIsRepeatable) {
+  CompactEventSequence seq = record_compact("<a>x</a>");
+  for (int i = 0; i < 3; ++i) {
+    DomBuilder builder;
+    seq.deliver(builder);
+    EXPECT_EQ(builder.take().root->text_content(), "x");
+  }
+}
+
+TEST(CompactEventSequenceTest, MatchesLegacyEventForEvent) {
+  const char* doc =
+      "<soapenv:Envelope "
+      "xmlns:soapenv=\"http://schemas.xmlsoap.org/soap/envelope/\">"
+      "<soapenv:Body><ns1:r xmlns:ns1=\"urn:Svc\">"
+      "<item xsi:type=\"xsd:string\" xmlns:xsi=\"urn:x\">a&amp;b</item>"
+      "<item xsi:type=\"xsd:string\" xmlns:xsi=\"urn:x\">c&lt;d</item>"
+      "</ns1:r></soapenv:Body></soapenv:Envelope>";
+  expect_same_events(replay_to_legacy(record_compact(doc)),
+                     record_legacy(doc));
+}
+
+TEST(CompactEventSequenceTest, NastyCharacterDataSurvives) {
+  // Entities, whitespace runs, embedded quotes and high-bit bytes.
+  std::string doc =
+      "<a q=\"it&apos;s &quot;fine&quot;\">  \n\t "
+      "&lt;tag&gt; &amp;&amp; caf\xc3\xa9 \xe2\x82\xac</a>";
+  expect_same_events(replay_to_legacy(record_compact(doc)),
+                     record_legacy(doc));
+}
+
+// Property: for random well-formed documents the compact round trip is
+// indistinguishable (event for event) from the legacy recording, and the
+// replayed DOM equals the directly parsed DOM.
+void gen_element(util::Rng& rng, std::string& out, int depth) {
+  static const char* kNames[] = {"item", "snippet",  "URL", "ns1:result",
+                                 "a",    "longName", "b"};
+  const char* name = kNames[rng.next_below(std::size(kNames))];
+  out += '<';
+  out += name;
+  if (std::string_view(name).find(':') != std::string_view::npos)
+    out += " xmlns:ns1=\"urn:Rand\"";
+  std::uint64_t nattrs = rng.next_below(3);
+  for (std::uint64_t i = 0; i < nattrs; ++i)
+    out += " k" + std::to_string(i) + "=\"" + rng.next_word(1, 8) + "\"";
+  out += '>';
+  std::uint64_t children = depth >= 4 ? 0 : rng.next_below(4);
+  for (std::uint64_t i = 0; i < children; ++i) {
+    if (rng.next_bool(0.4))
+      out += rng.next_sentence(1 + rng.next_below(4));
+    gen_element(rng, out, depth + 1);
+  }
+  if (rng.next_bool(0.6)) out += rng.next_word(1, 12);
+  out += "</";
+  out += name;
+  out += '>';
+}
+
+TEST(CompactEventSequenceTest, RandomDocumentsMatchLegacyProperty) {
+  util::Rng rng(0x5EED5EED);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::string doc;
+    gen_element(rng, doc, 0);
+    SCOPED_TRACE("iter " + std::to_string(iter) + ": " + doc.substr(0, 120));
+
+    CompactEventSequence compact = record_compact(doc);
+    expect_same_events(replay_to_legacy(compact), record_legacy(doc));
+
+    DomBuilder builder;
+    compact.deliver(builder);
+    EXPECT_EQ(builder.take().root->to_xml(),
+              parse_document(doc).root->to_xml());
+  }
+}
+
+TEST(CompactEventSequenceTest, InterningDeduplicatesNamesAndAttrLists) {
+  std::string doc = "<list>";
+  for (int i = 0; i < 100; ++i)
+    doc += "<item xsi:type=\"xsd:string\" xmlns:xsi=\"urn:x\">v</item>";
+  doc += "</list>";
+  CompactEventSequence seq = record_compact(doc);
+  // 100 repeated <item> elements intern to: list + item = 2 names, and
+  // empty + the one repeated attribute list = 2 lists.
+  EXPECT_EQ(seq.distinct_names(), 2u);
+  EXPECT_EQ(seq.distinct_attr_lists(), 2u);
+  // 1 start-doc + <list> + 100 * (start + chars + end) + </list> + end-doc.
+  EXPECT_EQ(seq.size(), 304u);
+  EXPECT_EQ(seq.arena_bytes(), 100u);
+}
+
+TEST(CompactEventSequenceTest, CompactBeatsLegacyFootprintOnRepetitiveDoc) {
+  // A SOAP-shaped document: few distinct names, many repeats.
+  std::string doc = "<r xmlns:e=\"urn:Env\">";
+  util::Rng rng(42);
+  for (int i = 0; i < 50; ++i)
+    doc += "<e:item key=\"a\">" + rng.next_sentence(6) + "</e:item>";
+  doc += "</r>";
+  CompactEventSequence compact = record_compact(doc);
+  EventSequence legacy = record_legacy(doc);
+  EXPECT_LT(compact.memory_size() * 2, legacy.memory_size())
+      << "compact=" << compact.memory_size()
+      << " legacy=" << legacy.memory_size();
+}
+
+TEST(CompactEventSequenceTest, ZeroAllocationsDuringReplay) {
+  // The hit-path promise: deliver() performs no heap allocation per event —
+  // it hands out interned references and arena views only.  The counting
+  // handler itself is allocation-free.
+  struct CountingHandler : ContentHandler {
+    std::size_t events = 0;
+    std::size_t text_bytes = 0;
+    void start_document() override { ++events; }
+    void end_document() override { ++events; }
+    void start_element(const QName&, const Attributes& attrs) override {
+      events += 1 + attrs.size();
+    }
+    void end_element(const QName&) override { ++events; }
+    void characters(std::string_view text) override {
+      ++events;
+      text_bytes += text.size();
+    }
+  };
+
+  std::string doc = "<r>";
+  for (int i = 0; i < 200; ++i)
+    doc += "<item k=\"v\">some payload text number " + std::to_string(i) +
+           "</item>";
+  doc += "</r>";
+  CompactEventSequence seq = record_compact(doc);
+
+  CountingHandler handler;
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  seq.deliver(handler);
+  g_count_allocs.store(false);
+
+  EXPECT_EQ(g_alloc_count.load(), 0u);
+  EXPECT_EQ(handler.events, seq.size() + 200 /* one attr per item */);
+  EXPECT_GT(handler.text_bytes, 0u);
+}
+
+TEST(CompactEventSequenceTest, EmptySequence) {
+  CompactEventSequence seq;
+  EXPECT_TRUE(seq.empty());
+  EXPECT_EQ(seq.size(), 0u);
+  DomBuilder builder;
+  seq.deliver(builder);  // no events, no crash
+  EXPECT_THROW(builder.take(), ParseError);
+}
+
+TEST(CompactEventRecorderTest, ReusableAfterTake) {
+  CompactEventRecorder recorder;
+  SaxParser{}.parse("<a>one</a>", recorder);
+  CompactEventSequence first = recorder.take();
+  SaxParser{}.parse("<b two=\"2\">two</b>", recorder);
+  CompactEventSequence second = recorder.take();
+
+  expect_same_events(replay_to_legacy(first), record_legacy("<a>one</a>"));
+  expect_same_events(replay_to_legacy(second),
+                     record_legacy("<b two=\"2\">two</b>"));
+}
+
+TEST(CompactEventRecorderTest, TeesWithLegacyRecorder) {
+  // The miss-path pattern: one parse feeds the deserializer and both
+  // recorders; the compact recording must match the legacy one.
+  EventRecorder legacy;
+  CompactEventRecorder compact;
+  TeeHandler tee(legacy, compact);
+  SaxParser{}.parse("<a k=\"v\"><b>x</b></a>", tee);
+  expect_same_events(replay_to_legacy(compact.take()), legacy.take());
+}
+
+}  // namespace
+}  // namespace wsc::xml

@@ -1,0 +1,192 @@
+// Ablation (ISSUE 3) — availability under an unreliable origin.
+//
+// The paper's portal scenario assumes the back-end Web services answer;
+// this ablation measures what the fault-tolerant pipeline (retries with
+// backoff + per-endpoint breaker + stale-if-error serving) buys when they
+// do not.
+//
+// Experiment A: sweep the per-call injected fault probability (refusals,
+// stalled reads, truncated bodies, corrupt XML) and measure the error
+// ratio the application sees, with and without a stale-if-error grace.
+//
+// Experiment B: a scripted hard outage (origin down for 10 simulated
+// seconds) against a warm cache: availability with a grace vs fail-fast.
+//
+// Everything runs in virtual time (backoff sleeps advance a ManualClock),
+// so the bench is deterministic and instant; the fault seed is printed so
+// a run can be reproduced exactly.
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/common.hpp"
+#include "core/client.hpp"
+#include "services/google/service.hpp"
+#include "services/google/stub.hpp"
+#include "transport/fault_injection.hpp"
+#include "transport/inproc_transport.hpp"
+#include "transport/retry.hpp"
+#include "util/error.hpp"
+
+using namespace wsc;
+using services::google::GoogleBackend;
+using std::chrono::milliseconds;
+
+namespace {
+
+constexpr const char* kEndpoint = "inproc://google/api";
+constexpr std::uint64_t kSeed = 20260805;
+
+struct Stack {
+  Stack(transport::FaultSpec spec, milliseconds ttl, milliseconds grace) {
+    backend = std::make_shared<GoogleBackend>();
+    auto origin = std::make_shared<transport::InProcessTransport>();
+    origin->bind(kEndpoint, services::google::make_google_service(backend));
+    faults = std::make_shared<transport::FaultInjectingTransport>(origin, spec);
+
+    transport::RetryPolicy retry_policy;
+    retry_policy.max_attempts = 4;
+    retry_policy.base_backoff = milliseconds(10);
+    retry_policy.max_backoff = milliseconds(200);
+    retry_policy.budget_initial = 1e9;  // isolate the retry/stale effects
+    retry_policy.budget_cap = 1e9;
+    transport::RetryingTransport::Deps deps;
+    deps.clock = &clock;
+    deps.jitter_seed = spec.seed;
+    deps.sleeper = [this](milliseconds d) { clock.advance(d); };
+    retrying = std::make_shared<transport::RetryingTransport>(
+        faults, retry_policy, deps);
+
+    response_cache = std::make_shared<cache::ResponseCache>(
+        cache::ResponseCache::Config{}, clock);
+    cache::bind_transport_stats(*retrying, response_cache->counters());
+
+    cache::CachingServiceClient::Options options;
+    options.policy = services::google::default_google_policy(
+        cache::Representation::Auto, ttl);
+    if (grace.count() > 0)
+      options.policy.stale_if_error("doSpellingSuggestion", grace);
+    client = std::make_unique<services::google::GoogleClient>(
+        retrying, kEndpoint, response_cache, options);
+  }
+
+  util::ManualClock clock;
+  std::shared_ptr<GoogleBackend> backend;
+  std::shared_ptr<transport::FaultInjectingTransport> faults;
+  std::shared_ptr<transport::RetryingTransport> retrying;
+  std::shared_ptr<cache::ResponseCache> response_cache;
+  std::unique_ptr<services::google::GoogleClient> client;
+};
+
+struct RunResult {
+  int requests = 0;
+  int app_errors = 0;
+  cache::StatsSnapshot stats;
+  std::uint64_t backend_calls = 0;
+};
+
+/// One request per 10 simulated ms, 5 rotating phrases, 1 s TTL: steady
+/// cache traffic with periodic refetches the faults can hit.
+RunResult run_workload(Stack& stack, int requests) {
+  RunResult r;
+  for (int i = 0; i < requests; ++i) {
+    std::string phrase = "phrase-" + std::to_string(i % 5);
+    try {
+      stack.client->doSpellingSuggestion(phrase);
+    } catch (const Error&) {
+      ++r.app_errors;
+    }
+    ++r.requests;
+    stack.clock.advance(milliseconds(10));
+  }
+  r.stats = stack.response_cache->stats();
+  r.backend_calls = stack.faults->counters().delivered;
+  return r;
+}
+
+transport::FaultSpec mixed_faults(double p_fault) {
+  transport::FaultSpec spec;
+  spec.seed = kSeed;
+  spec.p_connect_refused = 0.4 * p_fault;
+  spec.p_read_stall = 0.2 * p_fault;
+  spec.p_truncate_body = 0.2 * p_fault;
+  spec.p_corrupt_xml = 0.2 * p_fault;
+  return spec;
+}
+
+void fault_probability_sweep(bench::BenchJson& json) {
+  std::printf(
+      "Ablation A (fault sweep): 2000 requests over 20s of simulated time,\n"
+      "5 rotating phrases, TTL 1s, retry max_attempts=4, seed %llu\n",
+      static_cast<unsigned long long>(kSeed));
+  std::printf("%8s %7s %12s %12s %10s %10s %9s\n", "p_fault", "grace",
+              "app_errors", "stale_srvs", "retries", "brk_opens", "backend");
+
+  for (double p : {0.0, 0.05, 0.10, 0.20, 0.30, 0.50}) {
+    for (bool with_grace : {false, true}) {
+      Stack stack(mixed_faults(p), milliseconds(1000),
+                  with_grace ? milliseconds(60'000) : milliseconds(0));
+      RunResult r = run_workload(stack, 2000);
+      std::printf("%7.0f%% %7s %12d %12llu %10llu %10llu %9llu\n", p * 100,
+                  with_grace ? "60s" : "none", r.app_errors,
+                  static_cast<unsigned long long>(r.stats.stale_serves),
+                  static_cast<unsigned long long>(r.stats.transport_retries),
+                  static_cast<unsigned long long>(r.stats.breaker_opens),
+                  static_cast<unsigned long long>(r.backend_calls));
+
+      char row[64];
+      std::snprintf(row, sizeof(row), "sweep p=%.2f grace=%s", p,
+                    with_grace ? "60s" : "none");
+      json.add(row, "error_ratio",
+               static_cast<double>(r.app_errors) / r.requests);
+      json.add(row, "stale_serves", static_cast<double>(r.stats.stale_serves));
+      json.add(row, "retries_per_request",
+               static_cast<double>(r.stats.transport_retries) / r.requests);
+      json.add(row, "backend_calls", static_cast<double>(r.backend_calls));
+    }
+  }
+  std::printf(
+      "expected shape: without a grace the error ratio grows with p (only\n"
+      "retries absorb faults); with a grace the warm entries absorb nearly\n"
+      "all residual failures as stale serves.\n\n");
+}
+
+void hard_outage(bench::BenchJson& json) {
+  std::printf(
+      "Ablation B (hard outage): warm cache, origin down for 10s of\n"
+      "simulated time (one request per 10ms), TTL 1s\n");
+  for (bool with_grace : {false, true}) {
+    Stack stack(transport::FaultSpec{.seed = kSeed}, milliseconds(1000),
+                with_grace ? milliseconds(60'000) : milliseconds(0));
+    run_workload(stack, 100);  // warm phase: all five phrases cached
+    stack.faults->set_down(true);
+    RunResult outage = run_workload(stack, 1000);
+    stack.faults->set_down(false);
+    double availability =
+        1.0 - static_cast<double>(outage.app_errors) / outage.requests;
+    std::printf("  grace=%-4s served %.1f%% of %d requests during the outage "
+                "(stale_serves=%llu breaker_opens=%llu)\n",
+                with_grace ? "60s" : "none", availability * 100.0,
+                outage.requests,
+                static_cast<unsigned long long>(outage.stats.stale_serves),
+                static_cast<unsigned long long>(outage.stats.breaker_opens));
+    std::string row = std::string("outage grace=") + (with_grace ? "60s" : "none");
+    json.add(row, "availability", availability);
+    json.add(row, "stale_serves", static_cast<double>(outage.stats.stale_serves));
+    json.add(row, "breaker_opens",
+             static_cast<double>(outage.stats.breaker_opens));
+  }
+  std::printf(
+      "expected shape: fail-fast availability collapses once entries "
+      "expire;\nwith the grace the cache keeps answering at ~100%%.\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::BenchJson json;
+  fault_probability_sweep(json);
+  hard_outage(json);
+  json.write_file("BENCH_ablation_faults.json");
+  return 0;
+}

@@ -2,11 +2,22 @@
 
 #include "soap/deserializer.hpp"
 #include "soap/serializer.hpp"
+#include "transport/retry.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
 #include "xml/sax_parser.hpp"
 
 namespace wsc::cache {
+
+void bind_transport_stats(transport::RetryingTransport& transport,
+                          CacheStats& stats) {
+  transport::RetryingTransport::Listener listener;
+  listener.on_retry = [&stats] { stats.on_transport_retry(); };
+  listener.on_breaker_open = [&stats] { stats.on_breaker_open(); };
+  listener.on_breaker_probe = [&stats] { stats.on_breaker_probe(); };
+  listener.on_deadline_hit = [&stats] { stats.on_deadline_hit(); };
+  transport.set_listener(std::move(listener));
+}
 
 CachingServiceClient::CachingServiceClient(
     std::shared_ptr<transport::Transport> transport,
@@ -69,16 +80,20 @@ reflect::Object CachingServiceClient::invoke(
   }
 
   CacheKey key = keygen_->generate(request);
+  const bool allow_stale = policy.staleness.stale_if_error.count() > 0;
   // Revalidation (§3.2 HTTP hook): a stale entry with a Last-Modified may
-  // be renewed by a conditional request instead of refetched.
+  // be renewed by a conditional request instead of refetched.  A
+  // stale-if-error grace needs the same stale-exposing lookup: the plain
+  // lookup() eagerly evicts an expired entry, which would destroy the
+  // degraded-mode fallback before the wire call gets a chance to fail.
   std::optional<std::chrono::seconds> revalidate_since;
   bool had_stale_entry = false;
-  if (policy.revalidate) {
+  if (policy.revalidate || allow_stale) {
     ResponseCache::StaleLookup stale = cache_->lookup_for_revalidation(key);
     if (stale.fresh) return stale.value->retrieve();
     if (stale.value) {
       had_stale_entry = true;
-      revalidate_since = stale.last_modified;
+      if (policy.revalidate) revalidate_since = stale.last_modified;
     }
   } else if (std::shared_ptr<const CachedValue> value = cache_->lookup(key)) {
     return value->retrieve();
@@ -100,18 +115,39 @@ reflect::Object CachingServiceClient::invoke(
         "' of operation '" + operation + "'");
   }
 
-  CallResult result =
-      remote_call(request, op, record_mode_for(rep), revalidate_since);
+  CallResult result;
+  try {
+    result = remote_call(request, op, record_mode_for(rep), revalidate_since);
 
-  if (result.not_modified) {
-    // 304: the stale representation is still current — renew its lease and
-    // serve from it (no reparse, no re-store).
-    if (cache_->refresh(key, policy.ttl)) {
-      if (std::shared_ptr<const CachedValue> value = cache_->lookup(key))
-        return value->retrieve();
+    if (result.not_modified) {
+      // 304: the stale representation is still current — renew its lease
+      // and serve from it (no reparse, no re-store).
+      if (cache_->refresh(key, policy.ttl)) {
+        if (std::shared_ptr<const CachedValue> value = cache_->lookup(key))
+          return value->retrieve();
+      }
+      // The entry was evicted while we revalidated: refetch unconditionally.
+      result = remote_call(request, op, record_mode_for(rep));
     }
-    // The entry was evicted while we revalidated: refetch unconditionally.
-    result = remote_call(request, op, record_mode_for(rep));
+  } catch (const HttpError& error) {
+    // 5xx without a SOAP fault envelope: the origin itself is failing.
+    if (error.status() >= 500)
+      if (std::optional<reflect::Object> stale = serve_stale_on_error(key, policy))
+        return *stale;
+    throw;
+  } catch (const TransportError&) {
+    // Retries, deadline, and breaker are all below us (RetryingTransport);
+    // reaching here means the wire call failed for good.
+    if (std::optional<reflect::Object> stale = serve_stale_on_error(key, policy))
+      return *stale;
+    throw;
+  } catch (const ParseError&) {
+    // The origin answered, but with a document we cannot parse (truncated
+    // or corrupt XML from a degrading server) — an availability failure
+    // from the application's point of view, same as no answer at all.
+    if (std::optional<reflect::Object> stale = serve_stale_on_error(key, policy))
+      return *stale;
+    throw;
   }
   if (had_stale_entry) cache_->counters().on_miss();  // stale + changed
 
@@ -131,6 +167,23 @@ reflect::Object CachingServiceClient::invoke(
               operation);
   }
   return result.object;
+}
+
+std::optional<reflect::Object> CachingServiceClient::serve_stale_on_error(
+    const CacheKey& key, const OperationPolicy& policy) {
+  if (policy.staleness.stale_if_error.count() <= 0) return std::nullopt;
+  // Re-read at failure time, not from the pre-call lookup: the entry may
+  // have been refreshed by a concurrent caller (serve that), and the
+  // staleness must be measured now — retries and backoff took time.
+  ResponseCache::StaleLookup entry = cache_->lookup_allow_stale(key);
+  if (!entry.value) return std::nullopt;
+  if (!entry.fresh && entry.staleness > policy.staleness.stale_if_error)
+    return std::nullopt;  // too stale even for degraded mode
+  cache_->counters().on_stale_serve();
+  util::log(util::LogLevel::Debug,
+            "origin unavailable: serving stale cache entry within "
+            "stale_if_error grace");
+  return entry.value->retrieve();
 }
 
 CachingServiceClient::CallResult CachingServiceClient::remote_call(

@@ -30,7 +30,17 @@
 #include "util/uri.hpp"
 #include "wsdl/description.hpp"
 
+namespace wsc::transport {
+class RetryingTransport;
+}
+
 namespace wsc::cache {
+
+/// Fold RetryingTransport events (retries, breaker opens/probes, deadline
+/// hits) into the cache's CacheStats counters so one snapshot tells the
+/// whole availability story.  The stats object must outlive the transport.
+void bind_transport_stats(transport::RetryingTransport& transport,
+                          CacheStats& stats);
 
 class CachingServiceClient {
  public:
@@ -100,6 +110,13 @@ class CachingServiceClient {
       const soap::RpcRequest& request, const wsdl::OperationInfo& op,
       RecordMode record,
       std::optional<std::chrono::seconds> if_modified_since = std::nullopt);
+
+  /// Degraded mode: after the wire call failed for good, serve an
+  /// expired-but-present entry if the operation's stale-if-error grace
+  /// covers it.  Returns nullopt when the policy (or the cache) cannot
+  /// absorb the failure — the caller rethrows.
+  std::optional<reflect::Object> serve_stale_on_error(
+      const CacheKey& key, const OperationPolicy& policy);
 
   soap::RpcRequest build_request(const std::string& operation,
                                  std::vector<soap::Parameter> params) const;

@@ -24,6 +24,12 @@ CachePolicy& CachePolicy::uncacheable(const std::string& operation) {
   return set(operation, OperationPolicy{});
 }
 
+CachePolicy& CachePolicy::stale_if_error(const std::string& operation,
+                                         std::chrono::milliseconds grace) {
+  policies_[operation].staleness.stale_if_error = grace;
+  return *this;
+}
+
 const OperationPolicy& CachePolicy::lookup(std::string_view operation) const {
   auto it = policies_.find(operation);
   return it == policies_.end() ? default_policy_ : it->second;

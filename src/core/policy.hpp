@@ -19,6 +19,18 @@
 
 namespace wsc::cache {
 
+/// Degraded-mode knobs (the availability side of §3.2's "consistency is
+/// the administrator's policy decision").  Mirrors the per-operation
+/// cacheability table: operations whose results tolerate staleness under
+/// failure opt in; everything else keeps fail-fast semantics.
+struct StalenessPolicy {
+  /// stale-if-error grace (RFC 5861 analogue): when the wire call fails
+  /// after retries — breaker open, deadline exceeded, truncated/corrupt
+  /// response — an entry expired by at most this much may be served
+  /// instead of surfacing the error.  Zero disables stale serving.
+  std::chrono::milliseconds stale_if_error{0};
+};
+
 struct OperationPolicy {
   bool cacheable = false;
   /// Entry lifetime; "short enough to avoid consistency problems" is a
@@ -36,6 +48,8 @@ struct OperationPolicy {
   /// refetch (needs a server that sends Last-Modified; §3.2's HTTP hook).
   /// A 304 renews the entry's lease without reparsing or re-storing.
   bool revalidate = false;
+  /// Degraded-mode behaviour when the origin is unreachable.
+  StalenessPolicy staleness;
 };
 
 class CachePolicy {
@@ -50,6 +64,12 @@ class CachePolicy {
 
   /// Explicitly uncacheable (documents intent; same as not configuring).
   CachePolicy& uncacheable(const std::string& operation);
+
+  /// Grant an already-configured operation a stale-if-error grace (see
+  /// StalenessPolicy).  Creates the entry if absent, but note a grace on
+  /// an operation that is not cacheable has no effect.
+  CachePolicy& stale_if_error(const std::string& operation,
+                              std::chrono::milliseconds grace);
 
   /// Policy lookup; unconfigured operations return the uncacheable default.
   const OperationPolicy& lookup(std::string_view operation) const;

@@ -84,14 +84,31 @@ ResponseCache::StaleLookup ResponseCache::lookup_for_revalidation(
   }
   StaleLookup out;
   out.value = it->second.value;
-  out.fresh = clock_->now() < it->second.expiry;
+  util::TimePoint now = clock_->now();
+  out.fresh = now < it->second.expiry;
   out.last_modified = it->second.last_modified;
+  if (!out.fresh) out.staleness = now - it->second.expiry;
   if (out.fresh) {
     if (it->second.lru_it != shard.lru.begin())
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
     stats_.on_hit();
   }
   // Stale entries: outcome (refresh vs re-store vs drop) is the caller's.
+  return out;
+}
+
+ResponseCache::StaleLookup ResponseCache::lookup_allow_stale(
+    const CacheKey& key) const {
+  const Shard& shard = *shards_[(key.hash() >> 48) % shards_.size()];
+  std::lock_guard lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return {};
+  StaleLookup out;
+  out.value = it->second.value;
+  out.last_modified = it->second.last_modified;
+  util::TimePoint now = clock_->now();
+  out.fresh = now < it->second.expiry;
+  if (!out.fresh) out.staleness = now - it->second.expiry;
   return out;
 }
 

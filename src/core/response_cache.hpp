@@ -62,8 +62,20 @@ class ResponseCache {
     std::shared_ptr<const CachedValue> value;  // null on true miss
     bool fresh = false;
     std::optional<std::chrono::seconds> last_modified;
+    /// How far past expiry the entry is (zero when fresh or missing), so
+    /// stale-if-error graces compare against real staleness, not guesses.
+    util::Duration staleness{0};
   };
   StaleLookup lookup_for_revalidation(const CacheKey& key);
+
+  /// Degraded-mode lookup (stale-if-error): same exposure of expired
+  /// entries as lookup_for_revalidation but with NO side effects — no
+  /// hit/miss accounting, no LRU refresh, and crucially no expiry
+  /// eviction, so the fallback entry a failing wire call needs cannot be
+  /// destroyed by the lookup that finds it.  The fresh-only lookup()
+  /// semantics are unchanged.  Callers report the outcome themselves
+  /// (CacheStats::on_stale_serve for a degraded read).
+  StaleLookup lookup_allow_stale(const CacheKey& key) const;
 
   /// Give an existing (possibly expired) entry a new lease after a 304.
   /// Returns false if the entry vanished meanwhile.

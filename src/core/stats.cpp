@@ -5,10 +5,12 @@
 namespace wsc::cache {
 
 std::string StatsSnapshot::to_string() const {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "hits=%llu misses=%llu (ratio %.1f%%) stores=%llu "
                 "expired=%llu evicted=%llu revalidated=%llu uncacheable=%llu "
+                "stale_serves=%llu retries=%llu breaker_opens=%llu "
+                "breaker_probes=%llu deadline_hits=%llu "
                 "entries=%llu bytes=%llu",
                 static_cast<unsigned long long>(hits),
                 static_cast<unsigned long long>(misses), hit_ratio() * 100.0,
@@ -17,6 +19,11 @@ std::string StatsSnapshot::to_string() const {
                 static_cast<unsigned long long>(evictions),
                 static_cast<unsigned long long>(revalidations),
                 static_cast<unsigned long long>(uncacheable),
+                static_cast<unsigned long long>(stale_serves),
+                static_cast<unsigned long long>(transport_retries),
+                static_cast<unsigned long long>(breaker_opens),
+                static_cast<unsigned long long>(breaker_probes),
+                static_cast<unsigned long long>(deadline_hits),
                 static_cast<unsigned long long>(entries),
                 static_cast<unsigned long long>(bytes));
   return buf;
@@ -33,6 +40,11 @@ StatsSnapshot CacheStats::snapshot(std::uint64_t entries,
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
   s.revalidations = revalidations_.load(std::memory_order_relaxed);
   s.uncacheable = uncacheable_.load(std::memory_order_relaxed);
+  s.stale_serves = stale_serves_.load(std::memory_order_relaxed);
+  s.transport_retries = transport_retries_.load(std::memory_order_relaxed);
+  s.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
+  s.breaker_probes = breaker_probes_.load(std::memory_order_relaxed);
+  s.deadline_hits = deadline_hits_.load(std::memory_order_relaxed);
   s.entries = entries;
   s.bytes = bytes;
   return s;

@@ -17,6 +17,12 @@ struct StatsSnapshot {
   std::uint64_t invalidations = 0; // explicit invalidate()/clear()
   std::uint64_t revalidations = 0; // stale entries refreshed via 304
   std::uint64_t uncacheable = 0;   // calls bypassing the cache per policy
+  // Degraded-mode / fault-tolerance counters (ISSUE 3):
+  std::uint64_t stale_serves = 0;      // expired entries served on wire failure
+  std::uint64_t transport_retries = 0; // wire attempts beyond the first
+  std::uint64_t breaker_opens = 0;     // circuit breaker closed/half-open -> open
+  std::uint64_t breaker_probes = 0;    // half-open recovery trial calls
+  std::uint64_t deadline_hits = 0;     // per-call deadlines exceeded
   std::uint64_t entries = 0;       // current entry count
   std::uint64_t bytes = 0;         // current approximate footprint
 
@@ -38,13 +44,19 @@ class CacheStats {
   void on_invalidation() { invalidations_.fetch_add(1, std::memory_order_relaxed); }
   void on_revalidation() { revalidations_.fetch_add(1, std::memory_order_relaxed); }
   void on_uncacheable() { uncacheable_.fetch_add(1, std::memory_order_relaxed); }
+  void on_stale_serve() { stale_serves_.fetch_add(1, std::memory_order_relaxed); }
+  void on_transport_retry() { transport_retries_.fetch_add(1, std::memory_order_relaxed); }
+  void on_breaker_open() { breaker_opens_.fetch_add(1, std::memory_order_relaxed); }
+  void on_breaker_probe() { breaker_probes_.fetch_add(1, std::memory_order_relaxed); }
+  void on_deadline_hit() { deadline_hits_.fetch_add(1, std::memory_order_relaxed); }
 
   StatsSnapshot snapshot(std::uint64_t entries, std::uint64_t bytes) const;
 
  private:
   std::atomic<std::uint64_t> hits_{0}, misses_{0}, stores_{0},
       expirations_{0}, evictions_{0}, invalidations_{0}, revalidations_{0},
-      uncacheable_{0};
+      uncacheable_{0}, stale_serves_{0}, transport_retries_{0},
+      breaker_opens_{0}, breaker_probes_{0}, deadline_hits_{0};
 };
 
 }  // namespace wsc::cache

@@ -7,7 +7,11 @@ namespace wsc::http {
 
 void HttpConnection::ensure_connected() {
   if (!stream_.valid()) {
-    stream_ = TcpStream::connect(host_, port_);
+    stream_ = TcpStream::connect(host_, port_, options_.connect_timeout);
+    if (options_.read_timeout.count() > 0)
+      stream_.set_read_timeout(options_.read_timeout);
+    if (options_.write_timeout.count() > 0)
+      stream_.set_write_timeout(options_.write_timeout);
     leftover_.clear();
   }
 }
@@ -17,6 +21,12 @@ Response HttpConnection::round_trip(const Request& request) {
   try {
     ensure_connected();
     return try_round_trip(request);
+  } catch (const TimeoutError&) {
+    // A deadline expired mid-exchange: the connection state is unknown and
+    // the peer is slow, not stale — an immediate replay would just stall
+    // again.  Drop the socket and let the retry layer decide.
+    stream_.close();
+    throw;
   } catch (const TransportError&) {
     if (!was_connected) throw;  // fresh connection already failed: real error
     // Stale keep-alive connection (server closed it between requests):
@@ -35,12 +45,20 @@ Response HttpConnection::try_round_trip(const Request& request) {
     leftover_.erase(0, used);
   }
   char buf[16 * 1024];
+  std::size_t got = 0;
   while (!parser.complete()) {
     std::size_t n = stream_.read_some(buf, sizeof(buf));
     if (n == 0) {
+      // The peer closed before delivering the full Content-Length body (or
+      // even the head).  Never deliver the short body: surface a retryable
+      // transport error so the retry layer can replay the idempotent POST.
       stream_.close();
-      throw TransportError("connection closed mid-response");
+      throw TransportError(
+          "connection closed mid-response (truncated after " +
+              std::to_string(got) + " bytes)",
+          /*retryable=*/true);
     }
+    got += n;
     std::size_t used = parser.feed(std::string_view(buf, n));
     if (used < n) leftover_.append(buf + used, n - used);
   }

@@ -5,6 +5,7 @@
 // handshakes — matching the persistent connections Axis/Tomcat used.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -14,19 +15,34 @@
 
 namespace wsc::http {
 
+/// Per-connection deadlines.  Zero means "no bound" (block on OS
+/// defaults), preserving the historical behaviour; production stacks
+/// should always set all three so a stalled origin cannot wedge a caller
+/// (ISSUE 3: `read_some` used to block forever).
+struct SocketOptions {
+  std::chrono::milliseconds connect_timeout{0};
+  std::chrono::milliseconds read_timeout{0};
+  std::chrono::milliseconds write_timeout{0};
+};
+
 class HttpConnection {
  public:
-  HttpConnection(std::string host, std::uint16_t port)
-      : host_(std::move(host)), port_(port) {}
+  HttpConnection(std::string host, std::uint16_t port,
+                 SocketOptions options = {})
+      : host_(std::move(host)), port_(port), options_(options) {}
 
   /// Send a request and wait for the response.  Reconnects transparently
   /// (once) if the pooled connection has gone stale.  Throws
-  /// wsc::TransportError on network failure, wsc::ParseError on protocol
-  /// violations.
+  /// wsc::TransportError on network failure — always `retryable`, and a
+  /// truncated response (peer closed before Content-Length bytes arrived)
+  /// is surfaced that way rather than as a hang or a silently short body —
+  /// wsc::TimeoutError when a SocketOptions deadline expires, and
+  /// wsc::ParseError on protocol violations.
   Response round_trip(const Request& request);
 
   const std::string& host() const noexcept { return host_; }
   std::uint16_t port() const noexcept { return port_; }
+  const SocketOptions& options() const noexcept { return options_; }
 
  private:
   Response try_round_trip(const Request& request);
@@ -34,6 +50,7 @@ class HttpConnection {
 
   std::string host_;
   std::uint16_t port_;
+  SocketOptions options_;
   TcpStream stream_;
   std::string leftover_;  // pipelined bytes past the previous response
 };

@@ -1,9 +1,12 @@
 #include "http/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -26,6 +29,13 @@ sockaddr_in loopback(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   return addr;
 }
+
+timeval to_timeval(std::chrono::milliseconds t) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(t.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((t.count() % 1000) * 1000);
+  return tv;
+}
 }  // namespace
 
 TcpStream::~TcpStream() { close(); }
@@ -42,7 +52,8 @@ TcpStream& TcpStream::operator=(TcpStream&& other) noexcept {
   return *this;
 }
 
-TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
+TcpStream TcpStream::connect(const std::string& host, std::uint16_t port,
+                             std::chrono::milliseconds timeout) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) fail("socket");
   sockaddr_in addr = loopback(port);
@@ -50,18 +61,56 @@ TcpStream TcpStream::connect(const std::string& host, std::uint16_t port) {
     if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
       ::close(fd);
       throw TransportError("connect: unsupported host '" + host +
-                           "' (IPv4 literals and localhost only)");
+                               "' (IPv4 literals and localhost only)",
+                           /*retryable=*/false);
     }
   }
+  const std::string peer = host + ":" + std::to_string(port);
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (timeout.count() > 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    int saved = errno;
-    ::close(fd);
-    errno = saved;
-    fail("connect to " + host + ":" + std::to_string(port));
+    if (timeout.count() > 0 && errno == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int ready = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+      if (ready == 0) {
+        ::close(fd);
+        throw TimeoutError("connect to " + peer + " timed out after " +
+                           std::to_string(timeout.count()) + "ms");
+      }
+      int err = 0;
+      socklen_t len = sizeof(err);
+      if (ready < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+          err != 0) {
+        if (err != 0) errno = err;
+        int saved = errno;
+        ::close(fd);
+        errno = saved;
+        fail("connect to " + peer);
+      }
+    } else {
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      fail("connect to " + peer);
+    }
   }
+  if (timeout.count() > 0) ::fcntl(fd, F_SETFL, flags);  // back to blocking
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return TcpStream(fd);
+}
+
+void TcpStream::set_read_timeout(std::chrono::milliseconds timeout) {
+  if (!valid()) return;
+  timeval tv = to_timeval(timeout);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void TcpStream::set_write_timeout(std::chrono::milliseconds timeout) {
+  if (!valid()) return;
+  timeval tv = to_timeval(timeout);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 void TcpStream::write_all(std::string_view data) {
@@ -72,6 +121,8 @@ void TcpStream::write_all(std::string_view data) {
     ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw TimeoutError("send timed out (write deadline expired)");
       fail("send");
     }
     p += n;
@@ -85,6 +136,8 @@ std::size_t TcpStream::read_some(char* buf, std::size_t buf_len) {
     ssize_t n = ::recv(fd_, buf, buf_len, 0);
     if (n >= 0) return static_cast<std::size_t>(n);
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      throw TimeoutError("recv timed out (read deadline expired)");
     fail("recv");
   }
 }

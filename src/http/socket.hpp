@@ -1,6 +1,7 @@
 // Thin RAII layer over POSIX TCP sockets (loopback usage).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -19,16 +20,28 @@ class TcpStream {
   TcpStream(const TcpStream&) = delete;
   TcpStream& operator=(const TcpStream&) = delete;
 
-  /// Connect to host:port; throws wsc::TransportError.
-  static TcpStream connect(const std::string& host, std::uint16_t port);
+  /// Connect to host:port; throws wsc::TransportError.  With a nonzero
+  /// `timeout` the connect is attempted non-blocking and throws
+  /// wsc::TimeoutError if the handshake does not complete in time (zero =
+  /// block on the OS default, which can be minutes).
+  static TcpStream connect(const std::string& host, std::uint16_t port,
+                           std::chrono::milliseconds timeout =
+                               std::chrono::milliseconds(0));
 
   bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Bound the time a single recv()/send() may block (SO_RCVTIMEO /
+  /// SO_SNDTIMEO).  Zero restores fully blocking behaviour.  Once armed,
+  /// read_some()/write_all() throw wsc::TimeoutError on expiry instead of
+  /// hanging on a stalled peer.
+  void set_read_timeout(std::chrono::milliseconds timeout);
+  void set_write_timeout(std::chrono::milliseconds timeout);
 
   /// Write all bytes; throws TransportError on failure.
   void write_all(std::string_view data);
 
   /// Read up to buf_len bytes; returns 0 on orderly shutdown; throws on
-  /// error.
+  /// error (wsc::TimeoutError if a read timeout is armed and expires).
   std::size_t read_some(char* buf, std::size_t buf_len);
 
   void close() noexcept;

@@ -1,0 +1,116 @@
+#include "transport/fault_injection.hpp"
+
+#include <thread>
+
+#include "util/error.hpp"
+
+namespace wsc::transport {
+
+FaultInjectingTransport::FaultInjectingTransport(
+    std::shared_ptr<Transport> inner, FaultSpec spec)
+    : inner_(std::move(inner)), spec_(spec), rng_(spec.seed) {
+  if (!inner_) throw Error("FaultInjectingTransport: null inner transport");
+}
+
+void FaultInjectingTransport::set_down(bool down) {
+  std::lock_guard lock(mu_);
+  down_ = down;
+}
+
+bool FaultInjectingTransport::down() const {
+  std::lock_guard lock(mu_);
+  return down_;
+}
+
+void FaultInjectingTransport::set_spec(const FaultSpec& spec) {
+  std::lock_guard lock(mu_);
+  spec_ = spec;  // rng_ keeps its stream: the run stays seed-reproducible
+}
+
+FaultInjectingTransport::Counters FaultInjectingTransport::counters() const {
+  std::lock_guard lock(mu_);
+  return counters_;
+}
+
+FaultInjectingTransport::Fault FaultInjectingTransport::draw_fault_locked() {
+  // One uniform draw per call keeps the schedule a pure function of the
+  // seed and the call index, independent of which fault fired before.
+  double u = rng_.next_double();
+  double edge = spec_.p_connect_refused;
+  if (u < edge) return Fault::Refuse;
+  if (u < (edge += spec_.p_read_stall)) return Fault::Stall;
+  if (u < (edge += spec_.p_truncate_body)) return Fault::Truncate;
+  if (u < (edge += spec_.p_corrupt_xml)) return Fault::Corrupt;
+  if (u < (edge += spec_.p_slow)) return Fault::Slow;
+  return Fault::None;
+}
+
+WireResponse FaultInjectingTransport::post(const util::Uri& endpoint,
+                                           const WireRequest& request) {
+  Fault fault;
+  {
+    std::lock_guard lock(mu_);
+    ++counters_.calls;
+    long index = call_index_++;
+    if (down_) {
+      ++counters_.down_failures;
+      throw TransportError("injected outage (down): connection refused by " +
+                           endpoint.to_string());
+    }
+    if (spec_.outage_after >= 0 && index >= spec_.outage_after &&
+        index < spec_.outage_after + spec_.outage_length) {
+      ++counters_.outage_failures;
+      throw TransportError("injected burst outage: connection refused by " +
+                           endpoint.to_string());
+    }
+    fault = draw_fault_locked();
+    switch (fault) {
+      case Fault::Refuse: ++counters_.refused; break;
+      case Fault::Stall: ++counters_.stalled; break;
+      case Fault::Truncate: ++counters_.truncated; break;
+      case Fault::Corrupt: ++counters_.corrupted; break;
+      case Fault::Slow: ++counters_.slowed; break;
+      case Fault::None: break;
+    }
+  }
+
+  switch (fault) {
+    case Fault::Refuse:
+      throw TransportError("injected fault: connection refused by " +
+                           endpoint.to_string());
+    case Fault::Stall:
+      if (spec_.stall_latency.count() > 0)
+        std::this_thread::sleep_for(spec_.stall_latency);
+      throw TimeoutError("injected fault: read stalled past deadline at " +
+                         endpoint.to_string());
+    case Fault::Slow:
+      std::this_thread::sleep_for(spec_.slow_latency);
+      break;
+    default:
+      break;
+  }
+
+  WireResponse response = inner_->post(endpoint, request);
+
+  if (fault == Fault::Truncate) {
+    // The origin produced the response, but the connection died halfway
+    // through the body — exactly what HttpConnection::try_round_trip
+    // reports for a short read.
+    throw TransportError(
+        "injected fault: connection closed mid-response (truncated after " +
+        std::to_string(response.body.size() / 2) + " bytes)");
+  }
+  if (fault == Fault::Corrupt && !response.body.empty()) {
+    // Flip bytes in the middle of the document: well-formedness breaks but
+    // the transport layer has no way to notice — the parser must.
+    std::size_t mid = response.body.size() / 2;
+    response.body[mid] = '\x01';
+    if (mid + 1 < response.body.size()) response.body[mid + 1] = '<';
+  } else {
+    std::lock_guard lock(mu_);
+    ++counters_.delivered;
+  }
+  return response;
+}
+
+}  // namespace wsc::transport

@@ -1,0 +1,100 @@
+// Seeded fault-injecting Transport decorator.
+//
+// Wraps any Transport and turns a configurable fraction of calls into the
+// failure modes an unreliable origin really produces: refused connections,
+// stalled reads, mid-body truncation, corrupt XML, slow responses, and
+// burst outages.  Every decision comes from one SplitMix64 stream, so a
+// test or bench that logs its seed reproduces the exact fault schedule.
+//
+// Faults are expressed the way the real HTTP stack would surface them —
+// truncation becomes the retryable TransportError HttpConnection throws on
+// a short read, a stalled read becomes the TimeoutError an armed
+// SO_RCVTIMEO produces — so everything above the Transport interface
+// (RetryingTransport, CachingServiceClient) exercises its production
+// paths, not test-only ones.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "transport/transport.hpp"
+#include "util/random.hpp"
+
+namespace wsc::transport {
+
+/// Fault schedule: independent per-call probabilities (at most one fault
+/// fires per call; they are sampled from one uniform draw in the order
+/// listed) plus a deterministic burst outage window.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  /// Refuse before touching the inner transport (connect refused).
+  double p_connect_refused = 0;
+  /// Stalled read: the deadline expires with no bytes (TimeoutError).
+  double p_read_stall = 0;
+  /// Peer closes mid-body: retryable TransportError after the origin did
+  /// the work (the inner call still runs, matching a real short read).
+  double p_truncate_body = 0;
+  /// Deliver the response with bytes flipped inside the body: the fault
+  /// reaches the XML parser, not the transport error path.
+  double p_corrupt_xml = 0;
+  /// Deliver intact but only after `slow_latency` of real wall time.
+  double p_slow = 0;
+  std::chrono::milliseconds slow_latency{20};
+  /// Real wall time to burn before a stall fault throws (zero = instant,
+  /// which keeps unit tests fast; benches may want a nonzero value).
+  std::chrono::milliseconds stall_latency{0};
+  /// Burst outage: calls [outage_after, outage_after + outage_length) are
+  /// all refused regardless of probabilities.  outage_after < 0 disables.
+  long outage_after = -1;
+  long outage_length = 0;
+};
+
+class FaultInjectingTransport final : public Transport {
+ public:
+  struct Counters {
+    std::uint64_t calls = 0;
+    std::uint64_t refused = 0;
+    std::uint64_t stalled = 0;
+    std::uint64_t truncated = 0;
+    std::uint64_t corrupted = 0;
+    std::uint64_t slowed = 0;
+    std::uint64_t outage_failures = 0;
+    std::uint64_t down_failures = 0;
+    std::uint64_t delivered = 0;  // intact responses (slowed ones included)
+  };
+
+  FaultInjectingTransport(std::shared_ptr<Transport> inner, FaultSpec spec);
+
+  WireResponse post(const util::Uri& endpoint,
+                    const WireRequest& request) override;
+  using Transport::post;
+
+  /// Hard outage switch: while down, every call is refused (overrides the
+  /// probabilistic schedule).  Used to script outage/recovery phases.
+  void set_down(bool down);
+  bool down() const;
+
+  /// Replace the fault schedule mid-run (warm-up phase with no faults,
+  /// then a degraded phase, say).  The RNG stream and call index continue,
+  /// so a logged seed still reproduces the whole scripted run.
+  void set_spec(const FaultSpec& spec);
+
+  Counters counters() const;
+  const FaultSpec& spec() const noexcept { return spec_; }
+
+ private:
+  enum class Fault { None, Refuse, Stall, Truncate, Corrupt, Slow };
+  Fault draw_fault_locked();
+
+  std::shared_ptr<Transport> inner_;
+  FaultSpec spec_;
+  mutable std::mutex mu_;
+  util::Rng rng_;
+  Counters counters_;
+  long call_index_ = 0;
+  bool down_ = false;
+};
+
+}  // namespace wsc::transport

@@ -21,7 +21,7 @@ HttpTransport::ConnPtr HttpTransport::acquire(const std::string& host,
       return conn;
     }
   }
-  return std::make_unique<http::HttpConnection>(host, port);
+  return std::make_unique<http::HttpConnection>(host, port, options_.socket);
 }
 
 void HttpTransport::release(ConnPtr conn) {
@@ -33,7 +33,8 @@ WireResponse HttpTransport::post(const util::Uri& endpoint,
                                  const WireRequest& wire_request) {
   if (endpoint.scheme != "http")
     throw TransportError("HttpTransport: unsupported scheme '" +
-                         endpoint.scheme + "'");
+                             endpoint.scheme + "'",
+                         /*retryable=*/false);
   http::Request request;
   request.method = "POST";
   request.target = endpoint.path;

@@ -24,7 +24,8 @@ WireResponse InProcessTransport::post(const util::Uri& endpoint,
     auto it = bindings_.find(endpoint.to_string());
     if (it == bindings_.end())
       throw TransportError("InProcessTransport: no service bound at " +
-                           endpoint.to_string());
+                               endpoint.to_string(),
+                           /*retryable=*/false);
     binding = it->second;
   }
   if (latency_.count() > 0) std::this_thread::sleep_for(latency_);

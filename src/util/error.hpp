@@ -47,9 +47,37 @@ class ReflectionError : public Error {
 };
 
 /// Transport-level failure (connection refused, short read, timeout).
+///
+/// `retryable` classifies the failure for the retry layer: transient wire
+/// conditions (refused connection, reset, truncated response, timeout)
+/// default to true; configuration errors (unsupported scheme, unknown
+/// endpoint) are marked false at the throw site — repeating those can
+/// never succeed.
 class TransportError : public Error {
  public:
-  using Error::Error;
+  explicit TransportError(const std::string& what, bool retryable = true)
+      : Error(what), retryable_(retryable) {}
+  bool retryable() const noexcept { return retryable_; }
+
+ private:
+  bool retryable_;
+};
+
+/// A socket or per-call deadline elapsed (timed connect, SO_RCVTIMEO /
+/// SO_SNDTIMEO, or the RetryingTransport per-call deadline).
+class TimeoutError : public TransportError {
+ public:
+  explicit TimeoutError(const std::string& what, bool retryable = true)
+      : TransportError(what, retryable) {}
+};
+
+/// Fast-fail from an open circuit breaker: the endpoint has been failing
+/// consistently and the cooldown has not elapsed.  Never retryable — the
+/// point of the breaker is to not touch the wire at all.
+class BreakerOpenError : public TransportError {
+ public:
+  explicit BreakerOpenError(const std::string& what)
+      : TransportError(what, /*retryable=*/false) {}
 };
 
 /// HTTP protocol violation or unexpected status.

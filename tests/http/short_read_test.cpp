@@ -1,0 +1,188 @@
+// Short-read / stalled-peer regression tests for HttpConnection (ISSUE 3
+// satellite): a server that promises Content-Length bytes but closes early
+// must surface a *retryable* TransportError — never a hang and never a
+// silently short body — and an armed read deadline must turn a stalled
+// peer into a TimeoutError.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "http/client.hpp"
+#include "http/socket.hpp"
+#include "util/error.hpp"
+
+namespace wsc::http {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+/// Raw-socket server running one scripted session per accepted connection.
+class RawServer {
+ public:
+  using Session = std::function<void(TcpStream&)>;
+
+  explicit RawServer(Session session, int sessions = 1) : listener_(0) {
+    thread_ = std::thread([this, session, sessions] {
+      for (int i = 0; i < sessions; ++i) {
+        try {
+          TcpStream s = listener_.accept();
+          if (!s.valid()) return;  // listener shut down
+          session(s);
+        } catch (const Error&) {
+          // A client vanishing mid-session is expected in these tests.
+        }
+      }
+    });
+  }
+
+  ~RawServer() {
+    listener_.shutdown();
+    if (thread_.joinable()) thread_.join();
+  }
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+ private:
+  TcpListener listener_;
+  std::thread thread_;
+};
+
+/// Read until the request head is complete (our client sends head + body in
+/// one write, so this consumes the whole request).
+std::string read_request(TcpStream& s) {
+  std::string data;
+  char buf[4096];
+  while (data.find("\r\n\r\n") == std::string::npos) {
+    std::size_t n = s.read_some(buf, sizeof(buf));
+    if (n == 0) return data;
+    data.append(buf, n);
+  }
+  return data;
+}
+
+/// Block until the peer closes (keeps the socket open without answering).
+void wait_for_peer_close(TcpStream& s) {
+  char buf[256];
+  while (s.read_some(buf, sizeof(buf)) != 0) {
+  }
+}
+
+TEST(ShortReadTest, TruncatedBodyIsRetryableErrorNotShortBody) {
+  RawServer server([](TcpStream& s) {
+    read_request(s);
+    // Promise 100 bytes, deliver 30, vanish.
+    s.write_all("HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n" +
+                std::string(30, 'x'));
+  });
+
+  HttpConnection conn("127.0.0.1", server.port());
+  try {
+    Response r = conn.round_trip(Request{});
+    FAIL() << "truncated response was delivered as a " << r.body.size()
+           << "-byte body instead of throwing";
+  } catch (const TransportError& e) {
+    EXPECT_TRUE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ShortReadTest, TruncationMidHeadersAlsoThrows) {
+  RawServer server([](TcpStream& s) {
+    read_request(s);
+    s.write_all("HTTP/1.1 200 OK\r\nContent-Le");  // cut inside the head
+  });
+
+  HttpConnection conn("127.0.0.1", server.port());
+  EXPECT_THROW(conn.round_trip(Request{}), TransportError);
+}
+
+TEST(ShortReadTest, TruncationIsRecoveredByASecondAttempt) {
+  // Session 1 truncates; session 2 answers properly — the error must be
+  // retryable and the connection reusable, so a retry layer above can
+  // absorb the fault with a second round_trip.
+  int session = 0;
+  RawServer server(
+      [&session](TcpStream& s) {
+        read_request(s);
+        if (++session == 1) {
+          s.write_all("HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nhalf");
+        } else {
+          s.write_all("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+          wait_for_peer_close(s);
+        }
+      },
+      /*sessions=*/2);
+
+  HttpConnection conn("127.0.0.1", server.port());
+  EXPECT_THROW(conn.round_trip(Request{}), TransportError);
+  EXPECT_EQ(conn.round_trip(Request{}).body, "ok");
+}
+
+TEST(ShortReadTest, HeaderStallHitsReadDeadlineInsteadOfHanging) {
+  RawServer server([](TcpStream& s) {
+    read_request(s);
+    wait_for_peer_close(s);  // never answer
+  });
+
+  SocketOptions options;
+  options.read_timeout = milliseconds(100);
+  HttpConnection conn("127.0.0.1", server.port(), options);
+
+  auto start = steady_clock::now();
+  EXPECT_THROW(conn.round_trip(Request{}), TimeoutError);
+  auto elapsed = steady_clock::now() - start;
+  // Must be the armed deadline, not an OS-default multi-minute hang.
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_GE(elapsed, milliseconds(90));
+}
+
+TEST(ShortReadTest, MidBodyStallHitsReadDeadline) {
+  RawServer server([](TcpStream& s) {
+    read_request(s);
+    s.write_all("HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\npartial");
+    wait_for_peer_close(s);  // stall with the body incomplete
+  });
+
+  SocketOptions options;
+  options.read_timeout = milliseconds(100);
+  HttpConnection conn("127.0.0.1", server.port(), options);
+  EXPECT_THROW(conn.round_trip(Request{}), TimeoutError);
+}
+
+TEST(ShortReadTest, ArmedDeadlinesDoNotDisturbAHealthyExchange) {
+  RawServer server([](TcpStream& s) {
+    read_request(s);
+    s.write_all("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+    wait_for_peer_close(s);
+  });
+
+  SocketOptions options;
+  options.connect_timeout = milliseconds(500);
+  options.read_timeout = milliseconds(500);
+  options.write_timeout = milliseconds(500);
+  HttpConnection conn("127.0.0.1", server.port(), options);
+  EXPECT_EQ(conn.round_trip(Request{}).body, "ok");
+}
+
+TEST(ShortReadTest, ConnectionRefusedIsRetryable) {
+  std::uint16_t dead_port;
+  {
+    TcpListener probe(0);  // grab a port the OS considers free...
+    dead_port = probe.port();
+  }  // ...and close it, so connects are refused
+  HttpConnection conn("127.0.0.1", dead_port);
+  try {
+    conn.round_trip(Request{});
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_TRUE(e.retryable());
+  }
+}
+
+}  // namespace
+}  // namespace wsc::http

@@ -1,0 +1,215 @@
+// FaultInjectingTransport: the seeded fault schedule must be deterministic
+// (a logged seed reproduces the run), each fault kind must surface exactly
+// the way the real HTTP stack would surface it, and the counters must
+// account for every call.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "transport/fault_injection.hpp"
+#include "transport/transport.hpp"
+#include "util/error.hpp"
+#include "util/uri.hpp"
+
+namespace wsc::transport {
+namespace {
+
+const util::Uri kEndpoint = util::Uri::parse("inproc://svc/faulty");
+
+/// Inner transport returning a canned body; counts how often it is reached.
+class CannedTransport final : public Transport {
+ public:
+  explicit CannedTransport(std::string body = "<r>canned-response-body</r>")
+      : body_(std::move(body)) {}
+
+  WireResponse post(const util::Uri&, const WireRequest&) override {
+    ++calls;
+    WireResponse out;
+    out.body = body_;
+    return out;
+  }
+
+  int calls = 0;
+
+ private:
+  std::string body_;
+};
+
+WireRequest request() {
+  WireRequest r;
+  r.body = "<q/>";
+  r.soap_action = "urn:Test#op";
+  return r;
+}
+
+/// Run `n` calls and record the outcome of each one as a compact tag.
+std::vector<std::string> outcome_trace(FaultInjectingTransport& transport,
+                                       int n) {
+  std::vector<std::string> trace;
+  trace.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    try {
+      WireResponse r = transport.post(kEndpoint, request());
+      trace.push_back(r.body == "<r>canned-response-body</r>" ? "ok"
+                                                              : "corrupt");
+    } catch (const TimeoutError&) {
+      trace.push_back("stall");
+    } catch (const TransportError& e) {
+      trace.push_back(std::string(e.what()).find("truncated") !=
+                              std::string::npos
+                          ? "truncate"
+                          : "refuse");
+    }
+  }
+  return trace;
+}
+
+FaultSpec mixed_spec(std::uint64_t seed) {
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.p_connect_refused = 0.15;
+  spec.p_read_stall = 0.10;
+  spec.p_truncate_body = 0.10;
+  spec.p_corrupt_xml = 0.10;
+  return spec;
+}
+
+TEST(FaultInjectionTest, SameSeedSameSchedule) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 20260805ull}) {
+    SCOPED_TRACE("fault seed = " + std::to_string(seed));
+    FaultInjectingTransport a(std::make_shared<CannedTransport>(),
+                              mixed_spec(seed));
+    FaultInjectingTransport b(std::make_shared<CannedTransport>(),
+                              mixed_spec(seed));
+    EXPECT_EQ(outcome_trace(a, 200), outcome_trace(b, 200));
+  }
+}
+
+TEST(FaultInjectionTest, DifferentSeedsDifferentSchedules) {
+  FaultInjectingTransport a(std::make_shared<CannedTransport>(),
+                            mixed_spec(1));
+  FaultInjectingTransport b(std::make_shared<CannedTransport>(),
+                            mixed_spec(2));
+  EXPECT_NE(outcome_trace(a, 200), outcome_trace(b, 200));
+}
+
+TEST(FaultInjectionTest, MixedScheduleProducesEveryFaultKindAndCountsAdd) {
+  const std::uint64_t seed = 99;
+  SCOPED_TRACE("fault seed = " + std::to_string(seed));
+  auto inner = std::make_shared<CannedTransport>();
+  FaultInjectingTransport transport(inner, mixed_spec(seed));
+  outcome_trace(transport, 400);
+
+  FaultInjectingTransport::Counters c = transport.counters();
+  EXPECT_EQ(c.calls, 400u);
+  EXPECT_GT(c.refused, 0u);
+  EXPECT_GT(c.stalled, 0u);
+  EXPECT_GT(c.truncated, 0u);
+  EXPECT_GT(c.corrupted, 0u);
+  // Refusals and stalls never reach the origin; truncation and corruption
+  // do (the origin did the work before the connection died).
+  EXPECT_EQ(static_cast<std::uint64_t>(inner->calls),
+            c.calls - c.refused - c.stalled);
+  // Every delivered response is either intact or corrupted.
+  EXPECT_EQ(c.delivered + c.corrupted + c.truncated,
+            static_cast<std::uint64_t>(inner->calls));
+}
+
+TEST(FaultInjectionTest, RefusalIsRetryableAndSkipsInner) {
+  FaultSpec spec;
+  spec.p_connect_refused = 1.0;
+  auto inner = std::make_shared<CannedTransport>();
+  FaultInjectingTransport transport(inner, spec);
+  try {
+    transport.post(kEndpoint, request());
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_TRUE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("refused"), std::string::npos);
+  }
+  EXPECT_EQ(inner->calls, 0);
+}
+
+TEST(FaultInjectionTest, StallThrowsTimeoutError) {
+  FaultSpec spec;
+  spec.p_read_stall = 1.0;  // stall_latency stays 0: no real sleeping
+  FaultInjectingTransport transport(std::make_shared<CannedTransport>(), spec);
+  EXPECT_THROW(transport.post(kEndpoint, request()), TimeoutError);
+  EXPECT_EQ(transport.counters().stalled, 1u);
+}
+
+TEST(FaultInjectionTest, TruncationReachesInnerThenThrowsRetryable) {
+  FaultSpec spec;
+  spec.p_truncate_body = 1.0;
+  auto inner = std::make_shared<CannedTransport>();
+  FaultInjectingTransport transport(inner, spec);
+  try {
+    transport.post(kEndpoint, request());
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_TRUE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos);
+  }
+  EXPECT_EQ(inner->calls, 1);  // the origin served the doomed response
+}
+
+TEST(FaultInjectionTest, CorruptionDeliversMangledBody) {
+  FaultSpec spec;
+  spec.p_corrupt_xml = 1.0;
+  FaultInjectingTransport transport(std::make_shared<CannedTransport>(), spec);
+  WireResponse r = transport.post(kEndpoint, request());
+  EXPECT_NE(r.body, "<r>canned-response-body</r>");
+  EXPECT_EQ(r.body.size(), std::string("<r>canned-response-body</r>").size());
+  EXPECT_EQ(transport.counters().corrupted, 1u);
+}
+
+TEST(FaultInjectionTest, BurstOutageWindowFailsExactlyThoseCalls) {
+  FaultSpec spec;  // all probabilities zero: only the window fails
+  spec.outage_after = 3;
+  spec.outage_length = 4;
+  FaultInjectingTransport transport(std::make_shared<CannedTransport>(), spec);
+  std::vector<std::string> trace = outcome_trace(transport, 10);
+  std::vector<std::string> expected = {"ok",     "ok",     "ok",     "refuse",
+                                       "refuse", "refuse", "refuse", "ok",
+                                       "ok",     "ok"};
+  EXPECT_EQ(trace, expected);
+  EXPECT_EQ(transport.counters().outage_failures, 4u);
+}
+
+TEST(FaultInjectionTest, DownSwitchOverridesEverything) {
+  auto inner = std::make_shared<CannedTransport>();
+  FaultInjectingTransport transport(inner, FaultSpec{});
+  transport.post(kEndpoint, request());
+  transport.set_down(true);
+  EXPECT_TRUE(transport.down());
+  EXPECT_THROW(transport.post(kEndpoint, request()), TransportError);
+  EXPECT_THROW(transport.post(kEndpoint, request()), TransportError);
+  transport.set_down(false);
+  EXPECT_NO_THROW(transport.post(kEndpoint, request()));
+  FaultInjectingTransport::Counters c = transport.counters();
+  EXPECT_EQ(c.down_failures, 2u);
+  EXPECT_EQ(inner->calls, 2);  // down calls never reached the origin
+}
+
+TEST(FaultInjectionTest, SetSpecSwitchesPhasesMidRun) {
+  auto inner = std::make_shared<CannedTransport>();
+  FaultInjectingTransport transport(inner, FaultSpec{});  // clean phase
+  for (int i = 0; i < 5; ++i) EXPECT_NO_THROW(transport.post(kEndpoint, request()));
+
+  FaultSpec degraded;
+  degraded.p_connect_refused = 1.0;
+  transport.set_spec(degraded);  // degraded phase
+  EXPECT_THROW(transport.post(kEndpoint, request()), TransportError);
+
+  transport.set_spec(FaultSpec{});  // recovered
+  EXPECT_NO_THROW(transport.post(kEndpoint, request()));
+}
+
+TEST(FaultInjectionTest, NullInnerRejected) {
+  EXPECT_THROW(FaultInjectingTransport(nullptr, FaultSpec{}), Error);
+}
+
+}  // namespace
+}  // namespace wsc::transport

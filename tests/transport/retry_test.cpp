@@ -1,0 +1,380 @@
+// RetryingTransport: bounded retries with decorrelated-jitter backoff,
+// per-call deadlines, the token-bucket retry budget, and the per-endpoint
+// circuit breaker — all driven in virtual time through injected Deps.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "transport/retry.hpp"
+#include "transport/transport.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+#include "util/uri.hpp"
+
+namespace wsc::transport {
+namespace {
+
+using std::chrono::milliseconds;
+
+const util::Uri kEndpoint = util::Uri::parse("http://origin.example:8080/svc");
+const util::Uri kOther = util::Uri::parse("http://other.example:9090/svc");
+
+/// Inner transport running a per-call script: each entry either throws or
+/// returns.  Runs the last entry forever once the script is exhausted.
+class ScriptedTransport final : public Transport {
+ public:
+  using Step = std::function<WireResponse()>;
+
+  static WireResponse ok() {
+    WireResponse r;
+    r.body = "<ok/>";
+    return r;
+  }
+  static Step succeed() {
+    return [] { return ok(); };
+  }
+  static Step fail_retryable() {
+    return []() -> WireResponse {
+      throw TransportError("connection refused (scripted)");
+    };
+  }
+  static Step fail_terminal() {
+    return []() -> WireResponse {
+      throw TransportError("no such host (scripted)", /*retryable=*/false);
+    };
+  }
+  static Step fail_http(int status) {
+    return [status]() -> WireResponse {
+      throw HttpError(status, "HTTP " + std::to_string(status) + " (scripted)");
+    };
+  }
+
+  WireResponse post(const util::Uri&, const WireRequest&) override {
+    ++calls;
+    if (script.empty()) return ok();
+    Step step = script.size() > 1 ? script.front() : script.back();
+    if (script.size() > 1) script.erase(script.begin());
+    return step();
+  }
+
+  std::vector<Step> script;
+  int calls = 0;
+};
+
+/// Test rig: manual clock + sleeper that records each backoff and advances
+/// the clock by it, so deadlines see the time retries would have burned.
+struct Rig {
+  explicit Rig(RetryPolicy policy,
+               std::vector<ScriptedTransport::Step> script = {}) {
+    inner = std::make_shared<ScriptedTransport>();
+    inner->script = std::move(script);
+    RetryingTransport::Deps deps;
+    deps.clock = &clock;
+    deps.jitter_seed = 7;
+    deps.sleeper = [this](milliseconds d) {
+      sleeps.push_back(d);
+      clock.advance(d);
+    };
+    transport = std::make_shared<RetryingTransport>(inner, policy, deps);
+  }
+
+  WireResponse post() { return transport->post(kEndpoint, request()); }
+
+  static WireRequest request() {
+    WireRequest r;
+    r.body = "<q/>";
+    return r;
+  }
+
+  util::ManualClock clock;
+  std::shared_ptr<ScriptedTransport> inner;
+  std::shared_ptr<RetryingTransport> transport;
+  std::vector<milliseconds> sleeps;
+};
+
+TEST(RetryTest, FirstTrySuccessMakesOneCallAndNoSleep) {
+  Rig rig(RetryPolicy{});
+  EXPECT_EQ(rig.post().body, "<ok/>");
+  EXPECT_EQ(rig.inner->calls, 1);
+  EXPECT_TRUE(rig.sleeps.empty());
+  RetryCounters c = rig.transport->counters();
+  EXPECT_EQ(c.attempts, 1u);
+  EXPECT_EQ(c.retries, 0u);
+  EXPECT_EQ(c.successes, 1u);
+  EXPECT_EQ(c.failures, 0u);
+}
+
+TEST(RetryTest, TransientFaultsAbsorbedWithinMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  Rig rig(policy, {ScriptedTransport::fail_retryable(),
+                   ScriptedTransport::fail_retryable(),
+                   ScriptedTransport::succeed()});
+  EXPECT_EQ(rig.post().body, "<ok/>");
+  EXPECT_EQ(rig.inner->calls, 3);
+  EXPECT_EQ(rig.sleeps.size(), 2u);
+  RetryCounters c = rig.transport->counters();
+  EXPECT_EQ(c.attempts, 3u);
+  EXPECT_EQ(c.retries, 2u);
+  EXPECT_EQ(c.successes, 1u);
+  EXPECT_EQ(c.failures, 0u);
+}
+
+TEST(RetryTest, ExhaustedAttemptsRethrowOriginalError) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  Rig rig(policy, {ScriptedTransport::fail_retryable()});
+  EXPECT_THROW(rig.post(), TransportError);
+  EXPECT_EQ(rig.inner->calls, 3);
+  RetryCounters c = rig.transport->counters();
+  EXPECT_EQ(c.failures, 1u);
+  EXPECT_EQ(c.retries, 2u);
+}
+
+TEST(RetryTest, TerminalErrorNeverRetried) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  Rig rig(policy, {ScriptedTransport::fail_terminal()});
+  try {
+    rig.post();
+    FAIL() << "expected TransportError";
+  } catch (const TransportError& e) {
+    EXPECT_FALSE(e.retryable());
+  }
+  EXPECT_EQ(rig.inner->calls, 1);
+  EXPECT_TRUE(rig.sleeps.empty());
+}
+
+TEST(RetryTest, BackoffStaysWithinDecorrelatedJitterBounds) {
+  RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.base_backoff = milliseconds(10);
+  policy.max_backoff = milliseconds(200);
+  policy.breaker_threshold = 100;  // keep the breaker out of this test
+  Rig rig(policy, {ScriptedTransport::fail_retryable()});
+  EXPECT_THROW(rig.post(), TransportError);
+  ASSERT_EQ(rig.sleeps.size(), 7u);
+  milliseconds previous = policy.base_backoff;
+  for (milliseconds d : rig.sleeps) {
+    EXPECT_GE(d, policy.base_backoff);
+    EXPECT_LE(d, policy.max_backoff);
+    EXPECT_LE(d, std::max(3 * previous, policy.base_backoff));
+    previous = std::max(d, policy.base_backoff);
+  }
+}
+
+TEST(RetryTest, SameJitterSeedSameBackoffSchedule) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.breaker_threshold = 100;
+  Rig a(policy, {ScriptedTransport::fail_retryable()});
+  Rig b(policy, {ScriptedTransport::fail_retryable()});
+  EXPECT_THROW(a.post(), TransportError);
+  EXPECT_THROW(b.post(), TransportError);
+  EXPECT_EQ(a.sleeps, b.sleeps);
+}
+
+TEST(RetryTest, DeadlineExceededThrowsNonRetryableTimeout) {
+  RetryPolicy policy;
+  policy.max_attempts = 100;
+  policy.base_backoff = milliseconds(60);
+  policy.max_backoff = milliseconds(60);
+  policy.deadline = milliseconds(100);
+  Rig rig(policy, {ScriptedTransport::fail_retryable()});
+  try {
+    rig.post();
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_FALSE(e.retryable());
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+  }
+  // Far fewer than 100 attempts: the deadline cut the loop short.
+  EXPECT_LT(rig.inner->calls, 5);
+  EXPECT_EQ(rig.transport->counters().deadline_hits, 1u);
+}
+
+TEST(RetryTest, BackoffClampedToRemainingDeadline) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.base_backoff = milliseconds(80);
+  policy.max_backoff = milliseconds(80);
+  policy.deadline = milliseconds(100);
+  Rig rig(policy, {ScriptedTransport::fail_retryable()});
+  EXPECT_THROW(rig.post(), TimeoutError);
+  for (milliseconds d : rig.sleeps) EXPECT_LE(d, policy.deadline);
+}
+
+TEST(RetryTest, BudgetExhaustionStopsRetriesNotFirstTries) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.budget_initial = 1.0;
+  policy.budget_earn = 0.0;
+  Rig rig(policy, {ScriptedTransport::fail_retryable()});
+
+  // First post: spends the single token on its one retry.
+  EXPECT_THROW(rig.post(), TransportError);
+  EXPECT_EQ(rig.inner->calls, 2);
+  // Second post: no tokens left — fails after the first attempt.
+  EXPECT_THROW(rig.post(), TransportError);
+  EXPECT_EQ(rig.inner->calls, 3);
+  RetryCounters c = rig.transport->counters();
+  EXPECT_EQ(c.budget_exhausted, 1u);
+  EXPECT_LT(rig.transport->budget_tokens(), 1.0);
+}
+
+TEST(RetryTest, SuccessesEarnBudgetBack) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.budget_initial = 1.0;
+  policy.budget_earn = 0.5;
+  policy.budget_cap = 10.0;
+  Rig rig(policy, {ScriptedTransport::fail_retryable(),
+                   ScriptedTransport::fail_retryable(),  // post 1: spend 1
+                   ScriptedTransport::succeed()});
+  EXPECT_THROW(rig.post(), TransportError);
+  double drained = rig.transport->budget_tokens();
+  rig.post();  // success earns budget_earn
+  EXPECT_DOUBLE_EQ(rig.transport->budget_tokens(), drained + 0.5);
+}
+
+TEST(RetryTest, TransientHttpStatusRetriedTerminalStatusNot) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  {
+    Rig rig(policy, {ScriptedTransport::fail_http(503),
+                     ScriptedTransport::succeed()});
+    EXPECT_EQ(rig.post().body, "<ok/>");
+    EXPECT_EQ(rig.inner->calls, 2);
+  }
+  {
+    Rig rig(policy, {ScriptedTransport::fail_http(404),
+                     ScriptedTransport::succeed()});
+    EXPECT_THROW(rig.post(), HttpError);
+    EXPECT_EQ(rig.inner->calls, 1);  // 404 is the origin's answer, not a fault
+  }
+}
+
+// --- circuit breaker ------------------------------------------------------------
+
+RetryPolicy breaker_policy() {
+  RetryPolicy policy;
+  policy.max_attempts = 1;  // isolate breaker behavior from retries
+  policy.breaker_threshold = 3;
+  policy.breaker_cooldown = milliseconds(1000);
+  return policy;
+}
+
+TEST(BreakerTest, OpensAfterConsecutiveFailuresThenFastFails) {
+  Rig rig(breaker_policy(), {ScriptedTransport::fail_retryable()});
+  for (int i = 0; i < 3; ++i) EXPECT_THROW(rig.post(), TransportError);
+  EXPECT_EQ(rig.transport->breaker_state(kEndpoint),
+            RetryingTransport::BreakerState::Open);
+  EXPECT_EQ(rig.transport->counters().breaker_opens, 1u);
+
+  int calls_when_opened = rig.inner->calls;
+  EXPECT_THROW(rig.post(), BreakerOpenError);
+  EXPECT_THROW(rig.post(), BreakerOpenError);
+  EXPECT_EQ(rig.inner->calls, calls_when_opened);  // fast fail: no wire calls
+  EXPECT_EQ(rig.transport->counters().breaker_fast_fails, 2u);
+}
+
+TEST(BreakerTest, BreakerOpenErrorIsNotRetryable) {
+  Rig rig(breaker_policy(), {ScriptedTransport::fail_retryable()});
+  for (int i = 0; i < 3; ++i) EXPECT_THROW(rig.post(), TransportError);
+  try {
+    rig.post();
+    FAIL() << "expected BreakerOpenError";
+  } catch (const BreakerOpenError& e) {
+    EXPECT_FALSE(e.retryable());
+  }
+}
+
+TEST(BreakerTest, HalfOpenProbeSuccessClosesBreaker) {
+  Rig rig(breaker_policy(), {ScriptedTransport::fail_retryable()});
+  for (int i = 0; i < 3; ++i) EXPECT_THROW(rig.post(), TransportError);
+
+  rig.clock.advance(milliseconds(1001));     // past cooldown
+  rig.inner->script = {ScriptedTransport::succeed()};  // origin recovered
+  EXPECT_EQ(rig.post().body, "<ok/>");       // the half-open probe
+  EXPECT_EQ(rig.transport->breaker_state(kEndpoint),
+            RetryingTransport::BreakerState::Closed);
+  RetryCounters c = rig.transport->counters();
+  EXPECT_EQ(c.breaker_probes, 1u);
+  EXPECT_EQ(c.breaker_closes, 1u);
+  EXPECT_EQ(rig.post().body, "<ok/>");       // back to normal traffic
+}
+
+TEST(BreakerTest, FailedProbeReopensForAnotherCooldown) {
+  Rig rig(breaker_policy(), {ScriptedTransport::fail_retryable()});
+  for (int i = 0; i < 3; ++i) EXPECT_THROW(rig.post(), TransportError);
+
+  rig.clock.advance(milliseconds(1001));
+  EXPECT_THROW(rig.post(), TransportError);  // probe goes out, still failing
+  EXPECT_EQ(rig.transport->breaker_state(kEndpoint),
+            RetryingTransport::BreakerState::Open);
+  EXPECT_THROW(rig.post(), BreakerOpenError);  // fast-fail again
+
+  rig.clock.advance(milliseconds(1001));
+  rig.inner->script = {ScriptedTransport::succeed()};
+  EXPECT_EQ(rig.post().body, "<ok/>");
+  EXPECT_EQ(rig.transport->counters().breaker_probes, 2u);
+}
+
+TEST(BreakerTest, EndpointsTrackedIndependently) {
+  Rig rig(breaker_policy(), {ScriptedTransport::fail_retryable()});
+  for (int i = 0; i < 3; ++i) EXPECT_THROW(rig.post(), TransportError);
+  EXPECT_EQ(rig.transport->breaker_state(kEndpoint),
+            RetryingTransport::BreakerState::Open);
+  // The other endpoint's breaker is untouched: its calls go to the wire.
+  EXPECT_EQ(rig.transport->breaker_state(kOther),
+            RetryingTransport::BreakerState::Closed);
+  rig.inner->script = {ScriptedTransport::succeed()};
+  EXPECT_EQ(rig.transport->post(kOther, Rig::request()).body, "<ok/>");
+}
+
+TEST(BreakerTest, SuccessResetsConsecutiveFailureCount) {
+  Rig rig(breaker_policy());
+  rig.inner->script = {
+      ScriptedTransport::fail_retryable(), ScriptedTransport::fail_retryable(),
+      ScriptedTransport::succeed(),  // resets the streak at 2 of 3
+      ScriptedTransport::fail_retryable(), ScriptedTransport::fail_retryable(),
+      ScriptedTransport::succeed()};
+  EXPECT_THROW(rig.post(), TransportError);
+  EXPECT_THROW(rig.post(), TransportError);
+  rig.post();
+  EXPECT_THROW(rig.post(), TransportError);
+  EXPECT_THROW(rig.post(), TransportError);
+  rig.post();
+  EXPECT_EQ(rig.transport->breaker_state(kEndpoint),
+            RetryingTransport::BreakerState::Closed);
+  EXPECT_EQ(rig.transport->counters().breaker_opens, 0u);
+}
+
+TEST(RetryTest, ListenerEventsFire) {
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.breaker_threshold = 2;
+  policy.deadline = milliseconds(0);
+  Rig rig(policy, {ScriptedTransport::fail_retryable()});
+  int retries = 0, opens = 0, probes = 0;
+  RetryingTransport::Listener listener;
+  listener.on_retry = [&] { ++retries; };
+  listener.on_breaker_open = [&] { ++opens; };
+  listener.on_breaker_probe = [&] { ++probes; };
+  rig.transport->set_listener(std::move(listener));
+
+  EXPECT_THROW(rig.post(), TransportError);  // 2 attempts = 1 retry, opens
+  EXPECT_EQ(retries, 1);
+  EXPECT_EQ(opens, 1);
+  rig.clock.advance(milliseconds(3000));
+  rig.inner->script = {ScriptedTransport::succeed()};
+  rig.post();
+  EXPECT_EQ(probes, 1);
+}
+
+}  // namespace
+}  // namespace wsc::transport

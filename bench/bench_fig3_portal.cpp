@@ -10,6 +10,7 @@
 
 int main(int argc, char** argv) {
   int requests = wsc::bench::figure_requests(argc, argv, 600);
-  wsc::bench::run_portal_figure(/*concurrency=*/1, requests, "Figure 3");
+  wsc::bench::run_portal_figure(/*concurrency=*/1, requests, "Figure 3",
+                                wsc::bench::trace_requested(argc, argv));
   return 0;
 }

@@ -6,6 +6,7 @@
 
 int main(int argc, char** argv) {
   int requests = wsc::bench::figure_requests(argc, argv, 1500);
-  wsc::bench::run_portal_figure(/*concurrency=*/25, requests, "Figure 4");
+  wsc::bench::run_portal_figure(/*concurrency=*/25, requests, "Figure 4",
+                                wsc::bench::trace_requested(argc, argv));
   return 0;
 }

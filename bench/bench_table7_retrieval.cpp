@@ -18,10 +18,22 @@
 // interned recording — same universality as SAX events, expected strictly
 // faster (zero allocations per replayed event).  Results are also written
 // to BENCH_table7.json (row -> ns_per_op) for cross-PR tracking.
+// With --trace the google-benchmark run is replaced by a live middleware
+// pipeline (in-process transport + dummy Google service) driven through
+// CachingServiceClient with the process tracer enabled; the per-stage
+// breakdown (KeyGen/Lookup/Retrieve/... per representation and outcome) is
+// printed and the aggregate stage sum is required to stay within 10% of
+// the traced end-to-end latency.
 #include <benchmark/benchmark.h>
 
+#include <array>
+
 #include "bench/common.hpp"
+#include "bench/trace_report.hpp"
+#include "core/client.hpp"
 #include "core/representation.hpp"
+#include "services/google/service.hpp"
+#include "transport/inproc_transport.hpp"
 
 namespace {
 
@@ -91,9 +103,68 @@ class JsonCapturingReporter : public benchmark::ConsoleReporter {
   BenchJson json_;
 };
 
+/// --trace: drive the full middleware per (representation, operation) cell
+/// — one priming miss, then `iters` hits — and print the tracer's stage
+/// decomposition.  Returns non-zero when the aggregate stage sum deviates
+/// more than 10% from the traced end-to-end time.
+int run_traced(int iters) {
+  obs::Tracer& tracer = obs::tracer();
+  tracer.reset();
+  tracer.set_enabled(true);
+  tracer.set_sample_every(64);
+
+  auto backend = std::make_shared<services::google::GoogleBackend>();
+  auto transport = std::make_shared<transport::InProcessTransport>();
+  const std::string endpoint = "inproc://services/google";
+  transport->bind(endpoint, services::google::make_google_service(backend));
+
+  for (int rep_i = 0; rep_i < 7; ++rep_i) {
+    using cache::Representation;
+    Representation rep = std::array{
+        Representation::XmlMessage,    Representation::SaxEvents,
+        Representation::SaxEventsCompact, Representation::Serialized,
+        Representation::ReflectionCopy, Representation::CloneCopy,
+        Representation::Reference}[static_cast<std::size_t>(rep_i)];
+    for (const OperationCase& c : cases()) {
+      // Same n/a-cell skip rule as the benchmark registration above.
+      if (rep != Representation::Reference &&
+          !cache::applicable(rep, c.response_object.type(), false))
+        continue;
+      cache::OperationPolicy p;
+      p.cacheable = true;
+      p.ttl = std::chrono::hours(1);
+      p.representation = rep;
+      if (rep == Representation::Reference) p.read_only = true;
+      cache::CachingServiceClient::Options options;
+      options.key_method = cache::KeyMethod::ToString;
+      options.policy.set(c.op_name, p);
+      cache::CachingServiceClient client(
+          transport, services::google::google_description(), endpoint,
+          std::make_shared<cache::ResponseCache>(), options);
+      client.invoke(c.op_name, c.request.params);  // prime: the one miss
+      for (int i = 0; i < iters; ++i)
+        client.invoke(c.op_name, c.request.params);  // hits
+    }
+  }
+
+  double deviation = print_trace_breakdown(tracer.snapshot(), /*min_calls=*/2);
+  tracer.set_enabled(false);
+  if (deviation > 0.10) {
+    std::fprintf(stderr,
+                 "--trace FAILED: stage sum deviates %.2f%% from end-to-end "
+                 "latency (budget 10%%)\n",
+                 deviation * 100.0);
+    return 1;
+  }
+  std::printf("--trace OK: aggregate deviation %.2f%% (budget 10%%)\n",
+              deviation * 100.0);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (trace_requested(argc, argv)) return run_traced(/*iters=*/300);
   register_all();
   benchmark::Initialize(&argc, argv);
   JsonCapturingReporter reporter;

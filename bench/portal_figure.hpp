@@ -18,7 +18,9 @@
 #include <string>
 #include <vector>
 
+#include "bench/trace_report.hpp"
 #include "http/server.hpp"
+#include "obs/trace.hpp"
 #include "portal/load_sim.hpp"
 #include "portal/portal.hpp"
 #include "services/google/service.hpp"
@@ -67,10 +69,18 @@ struct FigurePoint {
 
 /// Run the whole figure.  `requests_per_point` is the measured request
 /// count per (representation, ratio) cell, split across `concurrency`
-/// virtual clients.
+/// virtual clients.  With `trace` the process tracer covers every
+/// middleware call the portal makes and the per-stage breakdown is printed
+/// after the sweep.
 inline std::vector<FigurePoint> run_portal_figure(int concurrency,
                                                   int requests_per_point,
-                                                  const char* figure_name) {
+                                                  const char* figure_name,
+                                                  bool trace = false) {
+  if (trace) {
+    obs::tracer().reset();
+    obs::tracer().set_enabled(true);
+    obs::tracer().set_sample_every(256);
+  }
   std::printf(
       "%s: portal throughput & mean response time vs cache-hit ratio "
       "(%d concurrent client%s, %d requests/point)\n",
@@ -142,6 +152,11 @@ inline std::vector<FigurePoint> run_portal_figure(int concurrency,
     std::printf("%-22s %11.2fx %13.2fx\n",
                 std::string(cache::representation_name(rep)).c_str(),
                 t0 > 0 ? t100 / t0 : 0.0, m100 > 0 ? m0 / m100 : 0.0);
+  }
+
+  if (trace) {
+    print_trace_breakdown(obs::tracer().snapshot(), /*min_calls=*/8);
+    obs::tracer().set_enabled(false);
   }
   return points;
 }

@@ -8,7 +8,10 @@
 //
 //   build/examples/portal_site                 # run the sweep and exit
 //   build/examples/portal_site --serve         # keep serving (ctrl-C quits)
+//   build/examples/portal_site --port 8080     # pin the portal listen port
+//   build/examples/portal_site --no-sweep      # skip the sweep (CI smoke)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -22,7 +25,22 @@
 using namespace wsc;
 
 int main(int argc, char** argv) {
-  bool serve = argc > 1 && std::strcmp(argv[1], "--serve") == 0;
+  bool serve = false;
+  bool sweep = true;
+  int port = 0;  // 0 = ephemeral
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strcmp(argv[i], "--no-sweep") == 0) {
+      sweep = false;
+    } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--serve] [--no-sweep] [--port N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
 
   // Backend: dummy Google Web service on its own HTTP server.
   auto backend = std::make_shared<services::google::GoogleBackend>();
@@ -38,27 +56,33 @@ int main(int argc, char** argv) {
   config.options.key_method = cache::KeyMethod::ToString;
   config.options.policy = services::google::default_google_policy();
   portal::PortalSite site(std::move(config));
-  http::HttpServer portal_server(0, site.handler());
+  http::HttpServer portal_server(port, site.handler());
   portal_server.start();
-  std::printf("portal site       : %s/portal?q=anything\n\n",
+  std::printf("portal site       : %s/portal?q=anything\n",
+              portal_server.base_url().c_str());
+  std::printf("admin endpoints   : %s/stats  %s/metrics\n\n",
+              portal_server.base_url().c_str(),
               portal_server.base_url().c_str());
 
-  std::printf("hit%%   throughput     mean    p95   (cache: auto representation)\n");
-  for (int hit = 0; hit <= 100; hit += 25) {
-    site.response_cache().clear();
-    portal::LoadConfig load;
-    load.concurrency = 4;
-    load.requests_per_client = 50;
-    load.hit_ratio = hit / 100.0;
-    load.hot_set_size = 8;
-    portal::LoadReport report =
-        portal::run_load_http(portal_server.base_url(), load);
-    std::printf("%3d%%  %9.0f/s  %6.2fms %6.2fms\n", hit, report.throughput_rps,
-                report.mean_response_ms(),
-                static_cast<double>(report.latency.percentile(0.95)) / 1e6);
+  if (sweep) {
+    std::printf(
+        "hit%%   throughput     mean    p95   (cache: auto representation)\n");
+    for (int hit = 0; hit <= 100; hit += 25) {
+      site.response_cache().clear();
+      portal::LoadConfig load;
+      load.concurrency = 4;
+      load.requests_per_client = 50;
+      load.hit_ratio = hit / 100.0;
+      load.hot_set_size = 8;
+      portal::LoadReport report =
+          portal::run_load_http(portal_server.base_url(), load);
+      std::printf("%3d%%  %9.0f/s  %6.2fms %6.2fms\n", hit,
+                  report.throughput_rps, report.mean_response_ms(),
+                  static_cast<double>(report.latency.percentile(0.95)) / 1e6);
+    }
+    std::printf("\nfinal cache state: %s\n",
+                site.response_cache().stats().to_string().c_str());
   }
-  std::printf("\nfinal cache state: %s\n",
-              site.response_cache().stats().to_string().c_str());
 
   if (serve) {
     std::printf("\nserving; open %s/portal?q=hello (ctrl-C to quit)\n",

@@ -71,15 +71,22 @@ reflect::Object CachingServiceClient::invoke(
                 std::to_string(op.params.size()) + " parameters, got " +
                 std::to_string(params.size()));
 
+  // Inactive (a branch on a relaxed load) unless obs::tracer() is enabled.
+  obs::CallTrace trace(description_->name(), operation);
+
   soap::RpcRequest request = build_request(operation, std::move(params));
   const OperationPolicy& policy = options_.policy.lookup(operation);
 
   if (!options_.caching_enabled || !policy.cacheable) {
     cache_->counters().on_uncacheable();
-    return remote_call(request, op, RecordMode::None).object;
+    trace.set_outcome(obs::Outcome::Uncacheable);
+    return remote_call(trace, request, op, RecordMode::None).object;
   }
 
-  CacheKey key = keygen_->generate(request);
+  CacheKey key = [&] {
+    obs::StageTimer timer(trace, obs::Stage::KeyGen);
+    return keygen_->generate(request);
+  }();
   const bool allow_stale = policy.staleness.stale_if_error.count() > 0;
   // Revalidation (§3.2 HTTP hook): a stale entry with a Last-Modified may
   // be renewed by a conditional request instead of refetched.  A
@@ -89,14 +96,32 @@ reflect::Object CachingServiceClient::invoke(
   std::optional<std::chrono::seconds> revalidate_since;
   bool had_stale_entry = false;
   if (policy.revalidate || allow_stale) {
-    ResponseCache::StaleLookup stale = cache_->lookup_for_revalidation(key);
-    if (stale.fresh) return stale.value->retrieve();
+    ResponseCache::StaleLookup stale = [&] {
+      obs::StageTimer timer(trace, obs::Stage::Lookup);
+      return cache_->lookup_for_revalidation(key);
+    }();
+    if (stale.fresh) {
+      trace.set_representation(
+          representation_name(stale.value->representation()));
+      trace.set_outcome(obs::Outcome::Hit);
+      obs::StageTimer timer(trace, obs::Stage::Retrieve);
+      return stale.value->retrieve();
+    }
     if (stale.value) {
       had_stale_entry = true;
       if (policy.revalidate) revalidate_since = stale.last_modified;
     }
-  } else if (std::shared_ptr<const CachedValue> value = cache_->lookup(key)) {
-    return value->retrieve();
+  } else {
+    std::shared_ptr<const CachedValue> value = [&] {
+      obs::StageTimer timer(trace, obs::Stage::Lookup);
+      return cache_->lookup(key);
+    }();
+    if (value) {
+      trace.set_representation(representation_name(value->representation()));
+      trace.set_outcome(obs::Outcome::Hit);
+      obs::StageTimer timer(trace, obs::Stage::Retrieve);
+      return value->retrieve();
+    }
   }
 
   // Resolve the representation from the *static* (WSDL) result type, so the
@@ -115,45 +140,56 @@ reflect::Object CachingServiceClient::invoke(
         "' of operation '" + operation + "'");
   }
 
+  trace.set_representation(representation_name(rep));
+
   CallResult result;
   try {
-    result = remote_call(request, op, record_mode_for(rep), revalidate_since);
+    result =
+        remote_call(trace, request, op, record_mode_for(rep), revalidate_since);
 
     if (result.not_modified) {
       // 304: the stale representation is still current — renew its lease
       // and serve from it (no reparse, no re-store).
       if (cache_->refresh(key, policy.ttl)) {
-        if (std::shared_ptr<const CachedValue> value = cache_->lookup(key))
+        if (std::shared_ptr<const CachedValue> value = cache_->lookup(key)) {
+          trace.set_outcome(obs::Outcome::Revalidated);
+          obs::StageTimer timer(trace, obs::Stage::Retrieve);
           return value->retrieve();
+        }
       }
       // The entry was evicted while we revalidated: refetch unconditionally.
-      result = remote_call(request, op, record_mode_for(rep));
+      result = remote_call(trace, request, op, record_mode_for(rep));
     }
   } catch (const HttpError& error) {
     // 5xx without a SOAP fault envelope: the origin itself is failing.
     if (error.status() >= 500)
-      if (std::optional<reflect::Object> stale = serve_stale_on_error(key, policy))
+      if (std::optional<reflect::Object> stale =
+              serve_stale_on_error(trace, key, policy))
         return *stale;
     throw;
   } catch (const TransportError&) {
     // Retries, deadline, and breaker are all below us (RetryingTransport);
     // reaching here means the wire call failed for good.
-    if (std::optional<reflect::Object> stale = serve_stale_on_error(key, policy))
+    if (std::optional<reflect::Object> stale =
+            serve_stale_on_error(trace, key, policy))
       return *stale;
     throw;
   } catch (const ParseError&) {
     // The origin answered, but with a document we cannot parse (truncated
     // or corrupt XML from a degrading server) — an availability failure
     // from the application's point of view, same as no answer at all.
-    if (std::optional<reflect::Object> stale = serve_stale_on_error(key, policy))
+    if (std::optional<reflect::Object> stale =
+            serve_stale_on_error(trace, key, policy))
       return *stale;
     throw;
   }
   if (had_stale_entry) cache_->counters().on_miss();  // stale + changed
+  trace.set_outcome(obs::Outcome::Miss);
 
   std::optional<std::chrono::milliseconds> ttl =
       options_.policy.effective_ttl(policy, result.directives);
   if (ttl) {
+    obs::StageTimer timer(trace, obs::Stage::Store);
     ResponseCapture capture;
     capture.response_xml = &result.response_xml;
     capture.events = &result.events;
@@ -170,7 +206,7 @@ reflect::Object CachingServiceClient::invoke(
 }
 
 std::optional<reflect::Object> CachingServiceClient::serve_stale_on_error(
-    const CacheKey& key, const OperationPolicy& policy) {
+    obs::CallTrace& trace, const CacheKey& key, const OperationPolicy& policy) {
   if (policy.staleness.stale_if_error.count() <= 0) return std::nullopt;
   // Re-read at failure time, not from the pre-call lookup: the entry may
   // have been refreshed by a concurrent caller (serve that), and the
@@ -183,18 +219,43 @@ std::optional<reflect::Object> CachingServiceClient::serve_stale_on_error(
   util::log(util::LogLevel::Debug,
             "origin unavailable: serving stale cache entry within "
             "stale_if_error grace");
+  trace.set_outcome(obs::Outcome::StaleServe);
+  obs::StageTimer timer(trace, obs::Stage::Retrieve);
   return entry.value->retrieve();
 }
 
 CachingServiceClient::CallResult CachingServiceClient::remote_call(
-    const soap::RpcRequest& request, const wsdl::OperationInfo& op,
-    RecordMode record, std::optional<std::chrono::seconds> if_modified_since) {
+    obs::CallTrace& trace, const soap::RpcRequest& request,
+    const wsdl::OperationInfo& op, RecordMode record,
+    std::optional<std::chrono::seconds> if_modified_since) {
   CallResult out;
   transport::WireRequest wire_request;
   wire_request.body = soap::serialize_request(request);
   wire_request.soap_action = request.ns + "#" + request.operation;
   wire_request.if_modified_since = if_modified_since;
-  transport::WireResponse wire = transport_->post(endpoint_, wire_request);
+  // Wire time is the transport round trip MINUS any backoff sleeps the
+  // retry layer recorded inside it, so the Wire and Backoff stages never
+  // overlap and the per-call stage sum stays an honest decomposition of
+  // the end-to-end latency.
+  transport::WireResponse wire = [&] {
+    if (!trace.active()) return transport_->post(endpoint_, wire_request);
+    const std::uint64_t backoff_before = trace.stage_ns(obs::Stage::Backoff);
+    const std::uint64_t wire_start = obs::now_ns();
+    struct WireStage {
+      obs::CallTrace& trace;
+      std::uint64_t backoff_before;
+      std::uint64_t wire_start;
+      ~WireStage() {
+        if (!trace.active()) return;
+        const std::uint64_t elapsed = obs::now_ns() - wire_start;
+        const std::uint64_t slept =
+            trace.stage_ns(obs::Stage::Backoff) - backoff_before;
+        trace.add_stage(obs::Stage::Wire,
+                        elapsed > slept ? elapsed - slept : 0);
+      }
+    } stage{trace, backoff_before, wire_start};
+    return transport_->post(endpoint_, wire_request);
+  }();
   out.directives = wire.directives;
   out.response_xml = std::move(wire.body);
   out.last_modified = wire.last_modified;
@@ -204,21 +265,25 @@ CachingServiceClient::CallResult CachingServiceClient::remote_call(
   }
 
   soap::ResponseReader reader(op);
-  if (record == RecordMode::Legacy) {
-    // One parse feeds both the deserializer and the recorder (miss path of
-    // the SAX representations never tokenizes twice).
-    xml::EventRecorder recorder;
-    xml::TeeHandler tee(reader, recorder);
-    xml::SaxParser{}.parse(out.response_xml, tee);
-    out.events = recorder.take();
-  } else if (record == RecordMode::Compact) {
-    xml::CompactEventRecorder recorder;
-    xml::TeeHandler tee(reader, recorder);
-    xml::SaxParser{}.parse(out.response_xml, tee);
-    out.compact_events = recorder.take();
-  } else {
-    xml::SaxParser{}.parse(out.response_xml, reader);
+  {
+    obs::StageTimer timer(trace, obs::Stage::Parse);
+    if (record == RecordMode::Legacy) {
+      // One parse feeds both the deserializer and the recorder (miss path
+      // of the SAX representations never tokenizes twice).
+      xml::EventRecorder recorder;
+      xml::TeeHandler tee(reader, recorder);
+      xml::SaxParser{}.parse(out.response_xml, tee);
+      out.events = recorder.take();
+    } else if (record == RecordMode::Compact) {
+      xml::CompactEventRecorder recorder;
+      xml::TeeHandler tee(reader, recorder);
+      xml::SaxParser{}.parse(out.response_xml, tee);
+      out.compact_events = recorder.take();
+    } else {
+      xml::SaxParser{}.parse(out.response_xml, reader);
+    }
   }
+  obs::StageTimer timer(trace, obs::Stage::Deserialize);
   out.object = reader.take();  // throws SoapFault if the body was a fault
   return out;
 }

@@ -25,6 +25,7 @@
 #include "core/cached_value.hpp"
 #include "core/policy.hpp"
 #include "core/response_cache.hpp"
+#include "obs/trace.hpp"
 #include "soap/message.hpp"
 #include "transport/transport.hpp"
 #include "util/uri.hpp"
@@ -107,8 +108,8 @@ class CachingServiceClient {
   }
 
   CallResult remote_call(
-      const soap::RpcRequest& request, const wsdl::OperationInfo& op,
-      RecordMode record,
+      obs::CallTrace& trace, const soap::RpcRequest& request,
+      const wsdl::OperationInfo& op, RecordMode record,
       std::optional<std::chrono::seconds> if_modified_since = std::nullopt);
 
   /// Degraded mode: after the wire call failed for good, serve an
@@ -116,7 +117,8 @@ class CachingServiceClient {
   /// covers it.  Returns nullopt when the policy (or the cache) cannot
   /// absorb the failure — the caller rethrows.
   std::optional<reflect::Object> serve_stale_on_error(
-      const CacheKey& key, const OperationPolicy& policy);
+      obs::CallTrace& trace, const CacheKey& key,
+      const OperationPolicy& policy);
 
   soap::RpcRequest build_request(const std::string& operation,
                                  std::vector<soap::Parameter> params) const;

@@ -1,0 +1,64 @@
+#include "core/metrics_bridge.hpp"
+
+#include "core/response_cache.hpp"
+
+namespace wsc::cache {
+
+void register_cache_metrics(obs::MetricsRegistry& registry,
+                            const ResponseCache& cache, obs::Labels labels) {
+  using obs::MetricsRegistry;
+  struct CounterField {
+    const char* name;
+    const char* help;
+    std::uint64_t StatsSnapshot::*field;
+  };
+  static const CounterField kCounters[] = {
+      {"wsc_cache_hits_total", "Fresh entries served", &StatsSnapshot::hits},
+      {"wsc_cache_misses_total", "Lookups that missed",
+       &StatsSnapshot::misses},
+      {"wsc_cache_stores_total", "Entries inserted or replaced",
+       &StatsSnapshot::stores},
+      {"wsc_cache_rejected_stores_total",
+       "store() calls dropped for a non-positive TTL",
+       &StatsSnapshot::rejected_stores},
+      {"wsc_cache_expirations_total", "Entries found expired",
+       &StatsSnapshot::expirations},
+      {"wsc_cache_evictions_total", "LRU / byte-budget removals",
+       &StatsSnapshot::evictions},
+      {"wsc_cache_invalidations_total", "Explicit invalidate()/clear()",
+       &StatsSnapshot::invalidations},
+      {"wsc_cache_revalidations_total", "Stale entries refreshed via 304",
+       &StatsSnapshot::revalidations},
+      {"wsc_cache_uncacheable_total", "Calls bypassing the cache per policy",
+       &StatsSnapshot::uncacheable},
+      {"wsc_cache_stale_serves_total",
+       "Expired entries served on wire failure", &StatsSnapshot::stale_serves},
+      {"wsc_cache_transport_retries_total", "Wire attempts beyond the first",
+       &StatsSnapshot::transport_retries},
+      {"wsc_cache_breaker_opens_total", "Circuit breaker open events",
+       &StatsSnapshot::breaker_opens},
+      {"wsc_cache_breaker_probes_total", "Half-open recovery trial calls",
+       &StatsSnapshot::breaker_probes},
+      {"wsc_cache_deadline_hits_total", "Per-call deadlines exceeded",
+       &StatsSnapshot::deadline_hits},
+  };
+  for (const CounterField& c : kCounters)
+    registry.family(c.name, c.help, MetricsRegistry::Kind::Counter);
+  registry.family("wsc_cache_entries", "Current entry count",
+                  MetricsRegistry::Kind::Gauge);
+  registry.family("wsc_cache_bytes", "Current approximate byte footprint",
+                  MetricsRegistry::Kind::Gauge);
+
+  registry.collector(
+      [&cache, labels = std::move(labels)](std::vector<obs::Sample>& out) {
+        StatsSnapshot s = cache.stats();  // one consistent snapshot
+        for (const CounterField& c : kCounters)
+          out.push_back({c.name, labels, static_cast<double>(s.*(c.field))});
+        out.push_back(
+            {"wsc_cache_entries", labels, static_cast<double>(s.entries)});
+        out.push_back(
+            {"wsc_cache_bytes", labels, static_cast<double>(s.bytes)});
+      });
+}
+
+}  // namespace wsc::cache

@@ -1,0 +1,20 @@
+// Bridge the response cache's CacheStats into a MetricsRegistry: one
+// collector per cache, emitting every StatsSnapshot counter (and the
+// entries/bytes gauges) from a SINGLE snapshot per scrape, so exported
+// values can never tear against each other.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace wsc::cache {
+
+class ResponseCache;
+
+/// Register wsc_cache_* families backed by `cache`.  `labels` (e.g.
+/// {{"cache", "portal"}}) distinguishes multiple caches sharing one
+/// registry.  The cache must outlive the registry's exports.
+void register_cache_metrics(obs::MetricsRegistry& registry,
+                            const ResponseCache& cache,
+                            obs::Labels labels = {});
+
+}  // namespace wsc::cache

@@ -47,6 +47,10 @@ void ResponseCache::store(const CacheKey& key,
                           std::shared_ptr<const CachedValue> value,
                           std::chrono::milliseconds ttl,
                           std::optional<std::chrono::seconds> last_modified) {
+  if (ttl <= std::chrono::milliseconds::zero()) {
+    stats_.on_rejected_store();
+    return;
+  }
   std::size_t bytes = key.memory_size() + value->memory_size();
   Shard& shard = shard_for(key);
   std::lock_guard lock(shard.mu);
@@ -164,26 +168,19 @@ std::size_t ResponseCache::purge_expired() {
   return removed;
 }
 
-std::size_t ResponseCache::entry_count() const {
-  std::size_t n = 0;
+ResponseCache::Footprint ResponseCache::footprint() const {
+  Footprint f;
   for (const auto& shard : shards_) {
     std::lock_guard lock(shard->mu);
-    n += shard->map.size();
+    f.entries += shard->map.size();
+    f.bytes += shard->bytes;
   }
-  return n;
-}
-
-std::size_t ResponseCache::bytes_used() const {
-  std::size_t n = 0;
-  for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
-    n += shard->bytes;
-  }
-  return n;
+  return f;
 }
 
 StatsSnapshot ResponseCache::stats() const {
-  return stats_.snapshot(entry_count(), bytes_used());
+  Footprint f = footprint();
+  return stats_.snapshot(f.entries, f.bytes);
 }
 
 void ResponseCache::erase_locked(Shard& shard, Map::iterator it) {

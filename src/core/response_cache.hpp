@@ -49,6 +49,9 @@ class ResponseCache {
 
   /// Insert or replace.  `ttl` bounds the entry's life from now;
   /// `last_modified` (server-supplied) enables later revalidation.
+  /// A non-positive TTL is a no-op counted as `rejected_stores`: an
+  /// already-expired entry must never charge the byte budget (where it
+  /// could evict live entries before lazy expiry noticed it).
   void store(const CacheKey& key, std::shared_ptr<const CachedValue> value,
              std::chrono::milliseconds ttl,
              std::optional<std::chrono::seconds> last_modified = std::nullopt);
@@ -91,8 +94,19 @@ class ResponseCache {
   /// lazily expires).  Returns the number removed.
   std::size_t purge_expired();
 
-  std::size_t entry_count() const;
-  std::size_t bytes_used() const;
+  /// Entry count and byte footprint, read together: each shard's pair is
+  /// taken under that shard's lock in ONE pass, so entries and bytes can
+  /// never disagree with each other (the old two-pass
+  /// entry_count()+bytes_used() snapshot could interleave with writers and
+  /// tear).
+  struct Footprint {
+    std::size_t entries = 0;
+    std::size_t bytes = 0;
+  };
+  Footprint footprint() const;
+
+  std::size_t entry_count() const { return footprint().entries; }
+  std::size_t bytes_used() const { return footprint().bytes; }
   StatsSnapshot stats() const;
   CacheStats& counters() noexcept { return stats_; }
 

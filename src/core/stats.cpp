@@ -5,9 +5,10 @@
 namespace wsc::cache {
 
 std::string StatsSnapshot::to_string() const {
-  char buf[384];
+  char buf[448];
   std::snprintf(buf, sizeof(buf),
                 "hits=%llu misses=%llu (ratio %.1f%%) stores=%llu "
+                "rejected_stores=%llu "
                 "expired=%llu evicted=%llu revalidated=%llu uncacheable=%llu "
                 "stale_serves=%llu retries=%llu breaker_opens=%llu "
                 "breaker_probes=%llu deadline_hits=%llu "
@@ -15,6 +16,7 @@ std::string StatsSnapshot::to_string() const {
                 static_cast<unsigned long long>(hits),
                 static_cast<unsigned long long>(misses), hit_ratio() * 100.0,
                 static_cast<unsigned long long>(stores),
+                static_cast<unsigned long long>(rejected_stores),
                 static_cast<unsigned long long>(expirations),
                 static_cast<unsigned long long>(evictions),
                 static_cast<unsigned long long>(revalidations),
@@ -29,12 +31,46 @@ std::string StatsSnapshot::to_string() const {
   return buf;
 }
 
+std::string stats_json(const StatsSnapshot& s) {
+  std::string out = "{";
+  bool first = true;
+  auto field = [&](const char* name, std::uint64_t value) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %llu", first ? "" : ", ", name,
+                  static_cast<unsigned long long>(value));
+    out += buf;
+    first = false;
+  };
+  field("hits", s.hits);
+  field("misses", s.misses);
+  field("stores", s.stores);
+  field("rejected_stores", s.rejected_stores);
+  field("expirations", s.expirations);
+  field("evictions", s.evictions);
+  field("invalidations", s.invalidations);
+  field("revalidations", s.revalidations);
+  field("uncacheable", s.uncacheable);
+  field("stale_serves", s.stale_serves);
+  field("transport_retries", s.transport_retries);
+  field("breaker_opens", s.breaker_opens);
+  field("breaker_probes", s.breaker_probes);
+  field("deadline_hits", s.deadline_hits);
+  field("entries", s.entries);
+  field("bytes", s.bytes);
+  char ratio[48];
+  std::snprintf(ratio, sizeof(ratio), ", \"hit_ratio\": %.6f", s.hit_ratio());
+  out += ratio;
+  out += "}";
+  return out;
+}
+
 StatsSnapshot CacheStats::snapshot(std::uint64_t entries,
                                    std::uint64_t bytes) const {
   StatsSnapshot s;
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.stores = stores_.load(std::memory_order_relaxed);
+  s.rejected_stores = rejected_stores_.load(std::memory_order_relaxed);
   s.expirations = expirations_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);

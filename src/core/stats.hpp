@@ -12,6 +12,7 @@ struct StatsSnapshot {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t stores = 0;
+  std::uint64_t rejected_stores = 0;  // store() with a non-positive TTL
   std::uint64_t expirations = 0;   // entries found expired on lookup
   std::uint64_t evictions = 0;     // LRU / byte-budget removals
   std::uint64_t invalidations = 0; // explicit invalidate()/clear()
@@ -34,11 +35,16 @@ struct StatsSnapshot {
   std::string to_string() const;
 };
 
+/// Flat JSON object carrying every snapshot counter verbatim (the /stats
+/// admin endpoint's body).
+std::string stats_json(const StatsSnapshot& snapshot);
+
 class CacheStats {
  public:
   void on_hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
   void on_miss() { misses_.fetch_add(1, std::memory_order_relaxed); }
   void on_store() { stores_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected_store() { rejected_stores_.fetch_add(1, std::memory_order_relaxed); }
   void on_expiration() { expirations_.fetch_add(1, std::memory_order_relaxed); }
   void on_eviction() { evictions_.fetch_add(1, std::memory_order_relaxed); }
   void on_invalidation() { invalidations_.fetch_add(1, std::memory_order_relaxed); }
@@ -54,9 +60,10 @@ class CacheStats {
 
  private:
   std::atomic<std::uint64_t> hits_{0}, misses_{0}, stores_{0},
-      expirations_{0}, evictions_{0}, invalidations_{0}, revalidations_{0},
-      uncacheable_{0}, stale_serves_{0}, transport_retries_{0},
-      breaker_opens_{0}, breaker_probes_{0}, deadline_hits_{0};
+      rejected_stores_{0}, expirations_{0}, evictions_{0}, invalidations_{0},
+      revalidations_{0}, uncacheable_{0}, stale_serves_{0},
+      transport_retries_{0}, breaker_opens_{0}, breaker_probes_{0},
+      deadline_hits_{0};
 };
 
 }  // namespace wsc::cache

@@ -183,7 +183,9 @@ TcpListener::~TcpListener() { shutdown(); }
 
 TcpStream TcpListener::accept() {
   for (;;) {
-    int client = ::accept(fd_, nullptr, nullptr);
+    int listener = fd_.load(std::memory_order_acquire);
+    if (listener < 0) return TcpStream();  // shut down
+    int client = ::accept(listener, nullptr, nullptr);
     if (client >= 0) {
       int one = 1;
       ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
@@ -196,10 +198,12 @@ TcpStream TcpListener::accept() {
 }
 
 void TcpListener::shutdown() noexcept {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
+  // Claim the fd atomically so a concurrent accept() never observes a
+  // half-closed descriptor; ::shutdown() then wakes any blocked accept.
+  int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
 }
 

@@ -1,6 +1,7 @@
 // Thin RAII layer over POSIX TCP sockets (loopback usage).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -75,11 +76,12 @@ class TcpListener {
   /// was shut down.  Throws TransportError on other failures.
   TcpStream accept();
 
-  /// Unblock pending accept() calls and stop accepting.
+  /// Unblock pending accept() calls and stop accepting.  Safe to call from
+  /// another thread while accept() is blocked (the fd handoff is atomic).
   void shutdown() noexcept;
 
  private:
-  int fd_ = -1;
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
 };
 

@@ -1,0 +1,210 @@
+#include "obs/promcheck.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "obs/metrics.hpp"  // valid_metric_name
+
+namespace wsc::obs {
+
+namespace {
+
+struct Cursor {
+  std::string_view line;
+  std::size_t pos = 0;
+
+  bool done() const { return pos >= line.size(); }
+  char peek() const { return line[pos]; }
+  bool consume(char c) {
+    if (done() || line[pos] != c) return false;
+    ++pos;
+    return true;
+  }
+};
+
+bool parse_metric_name(Cursor& cur, std::string& out) {
+  std::size_t start = cur.pos;
+  while (!cur.done()) {
+    char c = cur.peek();
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              c == ':' || (cur.pos > start && c >= '0' && c <= '9');
+    if (!ok) break;
+    ++cur.pos;
+  }
+  out = std::string(cur.line.substr(start, cur.pos - start));
+  return !out.empty();
+}
+
+bool parse_label_name(Cursor& cur, std::string& out) {
+  std::size_t start = cur.pos;
+  while (!cur.done()) {
+    char c = cur.peek();
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+              (cur.pos > start && c >= '0' && c <= '9');
+    if (!ok) break;
+    ++cur.pos;
+  }
+  out = std::string(cur.line.substr(start, cur.pos - start));
+  return !out.empty();
+}
+
+/// Quoted label value with \\, \", \n escapes.
+bool parse_label_value(Cursor& cur, std::string& out) {
+  if (!cur.consume('"')) return false;
+  out.clear();
+  while (!cur.done()) {
+    char c = cur.line[cur.pos++];
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (cur.done()) return false;
+      char esc = cur.line[cur.pos++];
+      if (esc != '\\' && esc != '"' && esc != 'n') return false;
+      out.push_back(esc == 'n' ? '\n' : esc);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return false;  // unterminated
+}
+
+bool parse_value(std::string_view token) {
+  if (token.empty()) return false;
+  if (token == "NaN" || token == "+Inf" || token == "-Inf" || token == "Inf")
+    return true;
+  std::string owned(token);
+  char* end = nullptr;
+  std::strtod(owned.c_str(), &end);
+  return end && *end == '\0' && end != owned.c_str();
+}
+
+bool parse_timestamp(std::string_view token) {
+  if (token.empty()) return false;
+  std::size_t i = (token[0] == '-' || token[0] == '+') ? 1 : 0;
+  if (i == token.size()) return false;
+  for (; i < token.size(); ++i)
+    if (token[i] < '0' || token[i] > '9') return false;
+  return true;
+}
+
+const std::set<std::string>& known_types() {
+  static const std::set<std::string> types = {"counter", "gauge", "summary",
+                                              "histogram", "untyped"};
+  return types;
+}
+
+/// The metric family a sample belongs to, given declared summary/histogram
+/// types: foo_sum / foo_count (and foo_bucket for histograms) fold into foo.
+std::string family_of(const std::string& sample_name,
+                      const std::map<std::string, std::string>& types) {
+  for (const char* suffix : {"_sum", "_count", "_bucket"}) {
+    std::string s(suffix);
+    if (sample_name.size() > s.size() &&
+        sample_name.compare(sample_name.size() - s.size(), s.size(), s) == 0) {
+      std::string base = sample_name.substr(0, sample_name.size() - s.size());
+      auto it = types.find(base);
+      if (it != types.end() &&
+          (it->second == "summary" || it->second == "histogram")) {
+        if (s == "_bucket" && it->second != "histogram") continue;
+        return base;
+      }
+    }
+  }
+  return sample_name;
+}
+
+}  // namespace
+
+std::optional<std::string> validate_prometheus_text(std::string_view text) {
+  if (text.empty()) return "empty exposition";
+  if (text.back() != '\n') return "missing trailing newline on final line";
+
+  std::map<std::string, std::string> types;  // family -> type
+  std::set<std::string> helps;               // families with a HELP line
+  std::set<std::string> sampled_families;
+  std::set<std::string> seen_series;  // name + rendered labels, duplicates
+
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    ++line_no;
+    std::size_t nl = text.find('\n', start);
+    std::string_view line = text.substr(start, nl - start);
+    start = nl + 1;
+    auto fail = [&](const std::string& what) {
+      return "line " + std::to_string(line_no) + ": " + what;
+    };
+
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      Cursor cur{line, 1};
+      if (!cur.consume(' ')) continue;  // free-form comment
+      std::size_t kw_end = line.find(' ', cur.pos);
+      std::string keyword(line.substr(cur.pos, kw_end - cur.pos));
+      if (keyword != "HELP" && keyword != "TYPE") continue;  // comment
+      if (kw_end == std::string_view::npos)
+        return fail("truncated # " + keyword + " line");
+      cur.pos = kw_end + 1;
+      std::string name;
+      if (!parse_metric_name(cur, name))
+        return fail("bad metric name in # " + keyword + " line");
+      if (keyword == "HELP") {
+        if (!helps.insert(name).second)
+          return fail("duplicate HELP for '" + name + "'");
+        continue;  // docstring is free text
+      }
+      if (!cur.consume(' ')) return fail("missing type after TYPE " + name);
+      std::string type(line.substr(cur.pos));
+      if (!known_types().count(type))
+        return fail("unknown metric type '" + type + "'");
+      if (types.count(name))
+        return fail("duplicate TYPE for '" + name + "'");
+      if (sampled_families.count(name))
+        return fail("TYPE for '" + name + "' after its samples");
+      types[name] = type;
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    Cursor cur{line, 0};
+    std::string name;
+    if (!parse_metric_name(cur, name)) return fail("bad metric name");
+    std::string series = name;
+    if (cur.consume('{')) {
+      series += '{';
+      bool first = true;
+      while (!cur.consume('}')) {
+        if (!first && !cur.consume(','))
+          return fail("expected ',' or '}' in label set of " + name);
+        if (cur.consume('}')) break;  // trailing comma is allowed
+        std::string label_name, label_value;
+        if (!parse_label_name(cur, label_name))
+          return fail("bad label name in " + name);
+        if (!cur.consume('=')) return fail("missing '=' after label name");
+        if (!parse_label_value(cur, label_value))
+          return fail("bad label value in " + name);
+        series += label_name + "=\"" + label_value + "\",";
+        first = false;
+      }
+      series += '}';
+    }
+    if (!cur.consume(' ')) return fail("missing space before value");
+    std::string_view rest = line.substr(cur.pos);
+    std::size_t space = rest.find(' ');
+    std::string_view value_token = rest.substr(0, space);
+    if (!parse_value(value_token))
+      return fail("bad sample value '" + std::string(value_token) + "'");
+    if (space != std::string_view::npos) {
+      std::string_view ts = rest.substr(space + 1);
+      if (!parse_timestamp(ts))
+        return fail("bad timestamp '" + std::string(ts) + "'");
+    }
+    if (!seen_series.insert(series).second)
+      return fail("duplicate sample for series " + series);
+    sampled_families.insert(family_of(name, types));
+  }
+  return std::nullopt;
+}
+
+}  // namespace wsc::obs

@@ -1,0 +1,20 @@
+// Prometheus text exposition format (0.0.4) validator.
+//
+// Used by the exporter golden tests and by tools/promcheck, which the CI
+// smoke step points at the portal's live /metrics output.  Deliberately a
+// strict-but-small subset of what a real Prometheus scraper accepts:
+// structural validity (names, label syntax, escapes, float values,
+// HELP/TYPE placement), not semantic scraping.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace wsc::obs {
+
+/// Returns std::nullopt when `text` is valid exposition format, otherwise
+/// a human-readable error naming the offending line.
+std::optional<std::string> validate_prometheus_text(std::string_view text);
+
+}  // namespace wsc::obs

@@ -1,5 +1,7 @@
 #include "portal/portal.hpp"
 
+#include "core/metrics_bridge.hpp"
+#include "obs/trace.hpp"
 #include "portal/query_string.hpp"
 #include "xml/escape.hpp"
 
@@ -10,7 +12,13 @@ using services::google::GoogleSearchResult;
 
 PortalSite::PortalSite(PortalConfig config)
     : cache_(config.response_cache ? std::move(config.response_cache)
-                                   : std::make_shared<cache::ResponseCache>()) {
+                                   : std::make_shared<cache::ResponseCache>()),
+      metrics_(std::move(config.metrics)) {
+  if (!metrics_) {
+    metrics_ = std::make_shared<obs::MetricsRegistry>();
+    cache::register_cache_metrics(*metrics_, *cache_);
+    obs::register_tracer_metrics(*metrics_, obs::tracer());
+  }
   google_ = std::make_unique<GoogleClient>(std::move(config.transport),
                                            std::move(config.backend_endpoint),
                                            cache_, std::move(config.options));
@@ -43,6 +51,17 @@ http::Handler PortalSite::handler() {
   return [this](const http::Request& request) {
     http::Response response;
     ParsedTarget target = parse_target(request.target);
+    if (target.path == "/stats") {
+      response.headers.set("Content-Type", "application/json");
+      response.body = cache::stats_json(cache_->stats());
+      return response;
+    }
+    if (target.path == "/metrics") {
+      response.headers.set("Content-Type",
+                           "text/plain; version=0.0.4; charset=utf-8");
+      response.body = metrics_->prometheus_text();
+      return response;
+    }
     if (target.path != "/portal") {
       response.status = 404;
       response.body = "not found";

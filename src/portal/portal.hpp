@@ -14,6 +14,7 @@
 
 #include "core/client.hpp"
 #include "http/server.hpp"
+#include "obs/metrics.hpp"
 #include "services/google/stub.hpp"
 
 namespace wsc::portal {
@@ -26,6 +27,9 @@ struct PortalConfig {
   cache::CachingServiceClient::Options options;
   /// Shared response cache; created internally when null.
   std::shared_ptr<cache::ResponseCache> response_cache;
+  /// Metrics registry behind the /metrics admin endpoint; created
+  /// internally (pre-wired with the cache and tracer) when null.
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 class PortalSite {
@@ -36,14 +40,19 @@ class PortalSite {
   /// caching middleware + HTML generation).
   std::string render_page(const std::string& query);
 
-  /// HTTP handler: GET /portal?q=... -> text/html.
+  /// HTTP handler.  Routes:
+  ///   GET /portal?q=...  -> text/html results page
+  ///   GET /stats         -> application/json StatsSnapshot counters
+  ///   GET /metrics       -> Prometheus text exposition (version 0.0.4)
   http::Handler handler();
 
   cache::ResponseCache& response_cache() noexcept { return *cache_; }
   services::google::GoogleClient& google() noexcept { return *google_; }
+  obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
 
  private:
   std::shared_ptr<cache::ResponseCache> cache_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<services::google::GoogleClient> google_;
 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace wsc::transport {
@@ -51,6 +53,10 @@ std::string RetryingTransport::breaker_key(const util::Uri& endpoint) {
 
 void RetryingTransport::sleep_for(std::chrono::milliseconds d) {
   if (d.count() <= 0) return;
+  // Attribute the sleep to the in-flight call's Backoff stage (no-op when
+  // no trace is active); the client subtracts it from its Wire stage so
+  // the two never double-count.
+  obs::StageTimer timer(obs::Stage::Backoff);
   if (sleeper_) {
     sleeper_(d);
   } else {
@@ -225,6 +231,54 @@ WireResponse RetryingTransport::post(const util::Uri& endpoint,
       retry_or_rethrow(attempt, true);
     }
   }
+}
+
+void register_retry_metrics(obs::MetricsRegistry& registry,
+                            const RetryingTransport& transport) {
+  using obs::MetricsRegistry;
+  registry.family("wsc_retry_attempts_total", "Wire calls actually made",
+                  MetricsRegistry::Kind::Counter);
+  registry.family("wsc_retry_retries_total", "Attempts beyond the first",
+                  MetricsRegistry::Kind::Counter);
+  registry.family("wsc_retry_successes_total", "Delivered post() calls",
+                  MetricsRegistry::Kind::Counter);
+  registry.family("wsc_retry_failures_total",
+                  "Failed post() calls (all attempts spent)",
+                  MetricsRegistry::Kind::Counter);
+  registry.family("wsc_retry_deadline_hits_total",
+                  "Per-call deadlines exceeded", MetricsRegistry::Kind::Counter);
+  registry.family("wsc_retry_budget_exhausted_total",
+                  "Retries suppressed by the token-bucket budget",
+                  MetricsRegistry::Kind::Counter);
+  registry.family("wsc_breaker_opens_total", "Circuit breaker open events",
+                  MetricsRegistry::Kind::Counter);
+  registry.family("wsc_breaker_fast_fails_total",
+                  "Calls rejected while the breaker was open",
+                  MetricsRegistry::Kind::Counter);
+  registry.family("wsc_breaker_probes_total", "Half-open recovery trial calls",
+                  MetricsRegistry::Kind::Counter);
+  registry.family("wsc_breaker_closes_total",
+                  "Breaker recoveries (probe succeeded)",
+                  MetricsRegistry::Kind::Counter);
+  registry.family("wsc_retry_budget_tokens", "Remaining retry budget tokens",
+                  MetricsRegistry::Kind::Gauge);
+  registry.collector([&transport](std::vector<obs::Sample>& out) {
+    RetryCounters c = transport.counters();  // one locked snapshot
+    auto emit = [&out](const char* name, std::uint64_t v) {
+      out.push_back({name, {}, static_cast<double>(v)});
+    };
+    emit("wsc_retry_attempts_total", c.attempts);
+    emit("wsc_retry_retries_total", c.retries);
+    emit("wsc_retry_successes_total", c.successes);
+    emit("wsc_retry_failures_total", c.failures);
+    emit("wsc_retry_deadline_hits_total", c.deadline_hits);
+    emit("wsc_retry_budget_exhausted_total", c.budget_exhausted);
+    emit("wsc_breaker_opens_total", c.breaker_opens);
+    emit("wsc_breaker_fast_fails_total", c.breaker_fast_fails);
+    emit("wsc_breaker_probes_total", c.breaker_probes);
+    emit("wsc_breaker_closes_total", c.breaker_closes);
+    out.push_back({"wsc_retry_budget_tokens", {}, transport.budget_tokens()});
+  });
 }
 
 }  // namespace wsc::transport

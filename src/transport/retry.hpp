@@ -25,6 +25,10 @@
 #include "util/clock.hpp"
 #include "util/random.hpp"
 
+namespace wsc::obs {
+class MetricsRegistry;
+}
+
 namespace wsc::transport {
 
 struct RetryPolicy {
@@ -131,5 +135,11 @@ class RetryingTransport final : public Transport {
   std::map<std::string, Breaker> breakers_;
   RetryCounters counters_;
 };
+
+/// Export every RetryCounters field (wsc_retry_*) plus the remaining
+/// budget tokens gauge from ONE counters() snapshot per scrape.  The
+/// transport must outlive the registry's exports.
+void register_retry_metrics(obs::MetricsRegistry& registry,
+                            const RetryingTransport& transport);
 
 }  // namespace wsc::transport

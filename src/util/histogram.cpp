@@ -45,16 +45,23 @@ void Histogram::record(std::uint64_t value) {
 }
 
 void Histogram::merge(const Histogram& other) {
-  if (other.sub_bits_ != sub_bits_) {
-    // Different resolutions: re-record bucket upper bounds (approximate).
+  if (other.count_ == 0) return;
+  if (other.sub_bits_ == sub_bits_) {
+    for (std::size_t i = 0; i < buckets_.size(); ++i)
+      buckets_[i] += other.buckets_[i];
+  } else {
+    // Different resolutions: translate each non-empty source bucket into
+    // this histogram's bucketing via its upper bound.  Only the bucket
+    // counts are approximated — the exact aggregates below come from the
+    // source's own exact values, never from bucket bounds (re-recording
+    // bounds used to corrupt sum/min/max and thus percentile(1.0)).
     for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
-      for (std::uint64_t n = 0; n < other.buckets_[i]; ++n)
-        record(other.bucket_upper_bound(i));
+      if (other.buckets_[i] == 0) continue;
+      std::size_t idx = bucket_index(other.bucket_upper_bound(i));
+      if (idx >= buckets_.size()) idx = buckets_.size() - 1;
+      buckets_[idx] += other.buckets_[i];
     }
-    return;
   }
-  for (std::size_t i = 0; i < buckets_.size(); ++i)
-    buckets_[i] += other.buckets_[i];
   count_ += other.count_;
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
@@ -63,6 +70,7 @@ void Histogram::merge(const Histogram& other) {
 
 std::uint64_t Histogram::percentile(double q) const {
   if (count_ == 0) return 0;
+  if (q >= 1.0) return max_;  // the recorded max, not a bucket upper bound
   q = std::clamp(q, 0.0, 1.0);
   std::uint64_t target = static_cast<std::uint64_t>(q * static_cast<double>(count_));
   if (target >= count_) target = count_ - 1;

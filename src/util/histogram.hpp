@@ -23,10 +23,16 @@ class Histogram {
     record(static_cast<std::uint64_t>(d.count() < 0 ? 0 : d.count()));
   }
 
-  /// Merge another histogram (combining per-thread recorders).
+  /// Merge another histogram (combining per-thread recorders).  count,
+  /// sum, min, and max are combined exactly regardless of bucket
+  /// resolution; with differing `sub_bucket_bits` the bucket counts are
+  /// rebucketed (each source bucket lands at its upper bound, the same
+  /// approximation recording into the coarser histogram would make).
   void merge(const Histogram& other);
 
+  int sub_bucket_bits() const noexcept { return sub_bits_; }
   std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
   std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
   std::uint64_t max() const noexcept { return max_; }
   double mean() const noexcept {
@@ -34,7 +40,9 @@ class Histogram {
   }
 
   /// Value at quantile q in [0,1]; returns an upper bound of the containing
-  /// bucket (standard HdrHistogram semantics).
+  /// bucket (standard HdrHistogram semantics), clamped to the observed
+  /// extremes — percentile(0.0) is the recorded min and percentile(1.0)
+  /// the recorded max, never a bucket bound.
   std::uint64_t percentile(double q) const;
 
   /// One-line human-readable summary with values scaled by `unit_divisor`

@@ -81,6 +81,43 @@ TEST(ResponseCacheTest, ZeroTtlNeverHits) {
   EXPECT_EQ(cache.lookup(key("a")), nullptr);
 }
 
+TEST(ResponseCacheTest, NonPositiveTtlStoreIsRejectedNoOp) {
+  ResponseCache cache;
+  cache.store(key("a"), value(1), milliseconds(0));
+  cache.store(key("b"), value(2), milliseconds(-5));
+  // Nothing was inserted: no entries, no bytes charged, no store counted.
+  StatsSnapshot s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0u);
+  EXPECT_EQ(s.stores, 0u);
+  EXPECT_EQ(s.rejected_stores, 2u);
+  EXPECT_EQ(s.expirations, 0u);  // never stored, so nothing to expire
+}
+
+TEST(ResponseCacheTest, RejectedStoreLeavesExistingEntryUntouched) {
+  ResponseCache cache;
+  cache.store(key("a"), value(1), minutes(1));
+  cache.store(key("a"), value(2), milliseconds(0));  // rejected, not a replace
+  auto hit = cache.lookup(key("a"));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->retrieve().as<std::int32_t>(), 1);
+  StatsSnapshot s = cache.stats();
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.rejected_stores, 1u);
+}
+
+TEST(ResponseCacheTest, RejectedStoreCannotEvictLiveEntries) {
+  // The old behavior charged an already-expired entry against the byte
+  // budget, which could evict live entries before lazy expiry noticed it.
+  ResponseCache cache(ResponseCache::Config{.max_entries = 2});
+  cache.store(key("a"), value(1), minutes(1));
+  cache.store(key("b"), value(2), minutes(1));
+  cache.store(key("dead"), value(3), milliseconds(0));
+  EXPECT_NE(cache.lookup(key("a")), nullptr);
+  EXPECT_NE(cache.lookup(key("b")), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
 TEST(ResponseCacheTest, PerEntryTtls) {
   util::ManualClock clock;
   ResponseCache cache(ResponseCache::Config{}, clock);

@@ -1,0 +1,263 @@
+// End-to-end observability: the client middleware's CallTrace wiring, the
+// cache/retry metric bridges, and the portal's /stats + /metrics admin
+// endpoints.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/client.hpp"
+#include "core/metrics_bridge.hpp"
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "obs/metrics.hpp"
+#include "obs/promcheck.hpp"
+#include "obs/trace.hpp"
+#include "portal/portal.hpp"
+#include "services/google/service.hpp"
+#include "tests/soap/test_service.hpp"
+#include "transport/inproc_transport.hpp"
+#include "transport/retry.hpp"
+
+namespace wsc {
+namespace {
+
+using cache::CachingServiceClient;
+using cache::ResponseCache;
+using reflect::Object;
+using soap::Parameter;
+using wsc::soap::testing::make_test_service;
+using wsc::soap::testing::test_description;
+
+constexpr const char* kEndpoint = "inproc://svc/test";
+
+/// Scoped enable of the PROCESS tracer (the client binds to obs::tracer()),
+/// reset on both ends so tests stay independent.
+struct ScopedTracer {
+  ScopedTracer() {
+    obs::tracer().reset();
+    obs::tracer().set_enabled(true);
+    obs::tracer().set_sample_every(1);
+  }
+  ~ScopedTracer() {
+    obs::tracer().set_enabled(false);
+    obs::tracer().reset();
+  }
+};
+
+CachingServiceClient make_client(CachingServiceClient::Options options,
+                                 std::shared_ptr<ResponseCache> cache = nullptr) {
+  auto transport = std::make_shared<transport::InProcessTransport>();
+  transport->bind(kEndpoint, make_test_service());
+  if (!cache) cache = std::make_shared<ResponseCache>();
+  return CachingServiceClient(std::move(transport), test_description(),
+                              kEndpoint, std::move(cache), std::move(options));
+}
+
+cache::CachePolicy cacheable_policy() {
+  cache::OperationPolicy p;
+  p.cacheable = true;
+  p.ttl = std::chrono::minutes(5);
+  p.representation = cache::Representation::XmlMessage;
+  cache::CachePolicy policy;
+  policy.set("echoString", p);
+  return policy;
+}
+
+TEST(ObservabilityTest, ClientTracesMissThenHit) {
+  ScopedTracer scoped;
+  CachingServiceClient::Options options;
+  options.policy = cacheable_policy();
+  CachingServiceClient client = make_client(options);
+  client.invoke("echoString", {{"s", Object::make(std::string("x"))}});
+  client.invoke("echoString", {{"s", Object::make(std::string("x"))}});
+
+  obs::TraceSummary summary = obs::tracer().snapshot();
+  const obs::GroupSummary* miss = summary.find("echoString", obs::Outcome::Miss);
+  ASSERT_NE(miss, nullptr);
+  EXPECT_EQ(miss->calls, 1u);
+  EXPECT_EQ(miss->labels.service, "TestService");
+  EXPECT_EQ(miss->labels.representation, "XML message");
+  // The miss ran the full pipeline: key, lookup, wire, parse, deserialize,
+  // store — and never the hit-only retrieve.
+  for (obs::Stage s : {obs::Stage::KeyGen, obs::Stage::Lookup, obs::Stage::Wire,
+                       obs::Stage::Parse, obs::Stage::Deserialize,
+                       obs::Stage::Store})
+    EXPECT_EQ(miss->stage(s).count, 1u) << obs::stage_name(s);
+  EXPECT_EQ(miss->stage(obs::Stage::Retrieve).count, 0u);
+  EXPECT_EQ(miss->stage(obs::Stage::Backoff).count, 0u);
+
+  const obs::GroupSummary* hit = summary.find("echoString", obs::Outcome::Hit);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->calls, 1u);
+  for (obs::Stage s :
+       {obs::Stage::KeyGen, obs::Stage::Lookup, obs::Stage::Retrieve})
+    EXPECT_EQ(hit->stage(s).count, 1u) << obs::stage_name(s);
+  EXPECT_EQ(hit->stage(obs::Stage::Wire).count, 0u);
+
+  // The stage decomposition never exceeds the traced end-to-end time.
+  for (const obs::GroupSummary* g : {miss, hit})
+    EXPECT_LE(g->mean_stage_sum_ns(), g->mean_total_ns() * 1.05);
+}
+
+TEST(ObservabilityTest, UncacheableOutcomeTraced) {
+  ScopedTracer scoped;
+  CachingServiceClient::Options options;  // default policy: nothing cacheable
+  CachingServiceClient client = make_client(options);
+  client.invoke("echoString", {{"s", Object::make(std::string("x"))}});
+  obs::TraceSummary summary = obs::tracer().snapshot();
+  const obs::GroupSummary* g =
+      summary.find("echoString", obs::Outcome::Uncacheable);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->stage(obs::Stage::Wire).count, 1u);
+  EXPECT_EQ(g->stage(obs::Stage::KeyGen).count, 0u);  // bypassed the cache
+}
+
+TEST(ObservabilityTest, DisabledTracerLeavesNoGroups) {
+  obs::tracer().reset();
+  ASSERT_FALSE(obs::tracer().enabled());
+  CachingServiceClient::Options options;
+  options.policy = cacheable_policy();
+  CachingServiceClient client = make_client(options);
+  client.invoke("echoString", {{"s", Object::make(std::string("x"))}});
+  EXPECT_TRUE(obs::tracer().snapshot().groups.empty());
+}
+
+TEST(ObservabilityTest, CacheMetricsMatchSnapshot) {
+  auto cache = std::make_shared<ResponseCache>();
+  CachingServiceClient::Options options;
+  options.policy = cacheable_policy();
+  CachingServiceClient client = make_client(options, cache);
+  client.invoke("echoString", {{"s", Object::make(std::string("x"))}});
+  client.invoke("echoString", {{"s", Object::make(std::string("x"))}});
+
+  obs::MetricsRegistry registry;
+  cache::register_cache_metrics(registry, *cache, {{"cache", "test"}});
+  std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("wsc_cache_hits_total{cache=\"test\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("wsc_cache_misses_total{cache=\"test\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("wsc_cache_stores_total{cache=\"test\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("wsc_cache_entries{cache=\"test\"} 1\n"),
+            std::string::npos);
+  EXPECT_EQ(obs::validate_prometheus_text(text), std::nullopt);
+}
+
+TEST(ObservabilityTest, RetryMetricsExport) {
+  auto inner = std::make_shared<transport::InProcessTransport>();
+  inner->bind(kEndpoint, make_test_service());
+  transport::RetryingTransport transport(inner, transport::RetryPolicy{});
+  obs::MetricsRegistry registry;
+  transport::register_retry_metrics(registry, transport);
+  std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("wsc_retry_attempts_total 0\n"), std::string::npos);
+  EXPECT_NE(text.find("wsc_retry_budget_tokens 10\n"), std::string::npos);
+  EXPECT_EQ(obs::validate_prometheus_text(text), std::nullopt);
+}
+
+TEST(ObservabilityTest, StatsJsonCarriesEveryCounter) {
+  cache::StatsSnapshot s;
+  s.hits = 3;
+  s.misses = 1;
+  s.rejected_stores = 2;
+  s.entries = 5;
+  s.bytes = 640;
+  std::string json = cache::stats_json(s);
+  EXPECT_NE(json.find("\"hits\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"misses\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"rejected_stores\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"entries\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes\": 640"), std::string::npos);
+  EXPECT_NE(json.find("\"hit_ratio\": 0.75"), std::string::npos);
+}
+
+using portal::PortalSite;
+
+PortalSite make_portal() {
+  auto transport = std::make_shared<transport::InProcessTransport>();
+  transport->bind("inproc://google/api",
+                  services::google::make_google_service(
+                      std::make_shared<services::google::GoogleBackend>()));
+  portal::PortalConfig config;
+  config.backend_endpoint = "inproc://google/api";
+  config.transport = transport;
+  config.options.policy = services::google::default_google_policy(
+      cache::Representation::XmlMessage);
+  return portal::PortalSite(std::move(config));
+}
+
+TEST(ObservabilityTest, PortalStatsEndpointMatchesSnapshot) {
+  PortalSite portal = make_portal();
+  http::HttpServer server(0, portal.handler());
+  server.start();
+  http::HttpConnection conn("127.0.0.1", server.port());
+
+  http::Request page;
+  page.target = "/portal?q=caching";
+  EXPECT_EQ(conn.round_trip(page).status, 200);
+  EXPECT_EQ(conn.round_trip(page).status, 200);
+
+  http::Request stats;
+  stats.target = "/stats";
+  http::Response response = conn.round_trip(stats);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(*response.headers.get("Content-Type"), "application/json");
+  // Quiesced: the body must equal the snapshot rendered now.
+  EXPECT_EQ(response.body, cache::stats_json(portal.response_cache().stats()));
+  EXPECT_NE(response.body.find("\"hits\": 1"), std::string::npos);
+  EXPECT_NE(response.body.find("\"misses\": 1"), std::string::npos);
+  server.stop();
+}
+
+TEST(ObservabilityTest, PortalMetricsEndpointIsValidExposition) {
+  ScopedTracer scoped;
+  PortalSite portal = make_portal();
+  http::HttpServer server(0, portal.handler());
+  server.start();
+  http::HttpConnection conn("127.0.0.1", server.port());
+
+  http::Request page;
+  page.target = "/portal?q=caching";
+  EXPECT_EQ(conn.round_trip(page).status, 200);
+  EXPECT_EQ(conn.round_trip(page).status, 200);
+
+  http::Request metrics;
+  metrics.target = "/metrics";
+  http::Response response = conn.round_trip(metrics);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(*response.headers.get("Content-Type"),
+            "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_EQ(obs::validate_prometheus_text(response.body), std::nullopt);
+  // The default portal registry bridges both the cache and the tracer.
+  EXPECT_NE(response.body.find("wsc_cache_hits_total 1\n"), std::string::npos);
+  EXPECT_NE(
+      response.body.find("wsc_calls_total{service=\"GoogleSearchService\""),
+      std::string::npos);
+  EXPECT_NE(response.body.find("outcome=\"hit\""), std::string::npos);
+  server.stop();
+}
+
+TEST(ObservabilityTest, PortalAcceptsExternalRegistry) {
+  auto registry = std::make_shared<obs::MetricsRegistry>();
+  registry->counter("wsc_custom_total", "Custom.").inc(9);
+  auto transport = std::make_shared<transport::InProcessTransport>();
+  transport->bind("inproc://google/api",
+                  services::google::make_google_service(
+                      std::make_shared<services::google::GoogleBackend>()));
+  portal::PortalConfig config;
+  config.backend_endpoint = "inproc://google/api";
+  config.transport = transport;
+  config.metrics = registry;
+  portal::PortalSite portal(std::move(config));
+  EXPECT_EQ(&portal.metrics(), registry.get());
+
+  http::Request metrics;
+  metrics.target = "/metrics";
+  http::Response response = portal.handler()(metrics);
+  EXPECT_NE(response.body.find("wsc_custom_total 9\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wsc

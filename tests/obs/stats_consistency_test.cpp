@@ -1,0 +1,101 @@
+// The torn-snapshot regression test: ResponseCache::stats() must report
+// entries and bytes from ONE per-shard pass, so the pair can never
+// disagree while writers hammer the table.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/response_cache.hpp"
+#include "reflect/object.hpp"
+
+namespace wsc::cache {
+namespace {
+
+using std::chrono::minutes;
+
+/// Every entry charges exactly `bytes`; with fixed-width keys the whole
+/// table satisfies bytes_used == entry_count * (key_size + kValueBytes).
+class FixedSizeValue final : public CachedValue {
+ public:
+  static constexpr std::size_t kBytes = 64;
+  reflect::Object retrieve() const override {
+    return reflect::Object::make(std::int32_t{0});
+  }
+  Representation representation() const override {
+    return Representation::Reference;
+  }
+  std::size_t memory_size() const override { return kBytes; }
+};
+
+CacheKey fixed_key(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k%07d", i);  // all keys the same length
+  return CacheKey(buf);
+}
+
+TEST(StatsConsistencyTest, FootprintPairNeverTearsUnderHammering) {
+  ResponseCache::Config config;
+  config.shards = 8;
+  ResponseCache cache(config);
+  const std::size_t per_entry =
+      fixed_key(0).memory_size() + FixedSizeValue::kBytes;
+
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&cache, w, &stop] {
+      // Distinct key ranges per writer: stores and invalidates churn the
+      // entry count and byte total together, never independently.
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        int k = w * 100000 + (i % 512);
+        if (i % 3 == 2) {
+          cache.invalidate(fixed_key(k));
+        } else {
+          cache.store(fixed_key(k), std::make_shared<FixedSizeValue>(),
+                      minutes(5));
+        }
+        ++i;
+      }
+    });
+  }
+
+  // Reader: with the one-pass footprint, bytes must always be an exact
+  // multiple of the per-entry cost matching the entry count.  The old
+  // two-pass snapshot tore here within a few thousand iterations.
+  int checks = 0;
+  for (int i = 0; i < 20000; ++i) {
+    StatsSnapshot s = cache.stats();
+    ASSERT_EQ(s.bytes, s.entries * per_entry)
+        << "torn snapshot: entries=" << s.entries << " bytes=" << s.bytes;
+    ++checks;
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(checks, 20000);
+
+  // Quiesced cross-check against the direct accessors.
+  ResponseCache::Footprint f = cache.footprint();
+  EXPECT_EQ(f.entries, cache.entry_count());
+  EXPECT_EQ(f.bytes, cache.bytes_used());
+  EXPECT_EQ(f.bytes, f.entries * per_entry);
+}
+
+TEST(StatsConsistencyTest, FootprintSumsAcrossShards) {
+  ResponseCache::Config config;
+  config.shards = 4;
+  ResponseCache cache(config);
+  for (int i = 0; i < 100; ++i)
+    cache.store(fixed_key(i), std::make_shared<FixedSizeValue>(), minutes(5));
+  ResponseCache::Footprint f = cache.footprint();
+  EXPECT_EQ(f.entries, 100u);
+  EXPECT_EQ(f.bytes,
+            100u * (fixed_key(0).memory_size() + FixedSizeValue::kBytes));
+}
+
+}  // namespace
+}  // namespace wsc::cache

@@ -1,0 +1,202 @@
+// Tracer / CallTrace / StageTimer mechanics.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wsc::obs {
+namespace {
+
+TEST(TraceTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;
+  ASSERT_FALSE(tracer.enabled());
+  {
+    CallTrace trace(tracer, "svc", "op");
+    EXPECT_FALSE(trace.active());
+    trace.set_outcome(Outcome::Hit);
+    trace.add_stage(Stage::KeyGen, 100);  // no-op while inactive
+    EXPECT_EQ(trace.stage_ns(Stage::KeyGen), 0u);
+  }
+  TraceSummary summary = tracer.snapshot();
+  EXPECT_TRUE(summary.groups.empty());
+  EXPECT_TRUE(summary.exemplars.empty());
+}
+
+TEST(TraceTest, RecordsStagesLabelsAndOutcome) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_sample_every(1);
+  {
+    CallTrace trace(tracer, "svc", "op");
+    ASSERT_TRUE(trace.active());
+    trace.set_representation("XML message");
+    trace.set_outcome(Outcome::Hit);
+    trace.add_stage(Stage::KeyGen, 100);
+    trace.add_stage(Stage::Lookup, 200);
+    trace.add_stage(Stage::Retrieve, 300);
+    EXPECT_EQ(trace.stage_ns(Stage::Lookup), 200u);
+  }
+  TraceSummary summary = tracer.snapshot();
+  ASSERT_EQ(summary.groups.size(), 1u);
+  const GroupSummary& g = summary.groups[0];
+  EXPECT_EQ(g.labels.service, "svc");
+  EXPECT_EQ(g.labels.operation, "op");
+  EXPECT_EQ(g.labels.representation, "XML message");
+  EXPECT_EQ(g.labels.outcome, Outcome::Hit);
+  EXPECT_EQ(g.calls, 1u);
+  EXPECT_EQ(g.stage(Stage::KeyGen).sum_ns, 100u);
+  EXPECT_EQ(g.stage(Stage::Lookup).sum_ns, 200u);
+  EXPECT_EQ(g.stage(Stage::Retrieve).sum_ns, 300u);
+  EXPECT_GT(g.total_sum_ns, 0u);
+
+  ASSERT_EQ(summary.exemplars.size(), 1u);
+  EXPECT_EQ(summary.exemplars[0].stage(Stage::Lookup), 200u);
+  EXPECT_EQ(summary.exemplars[0].stage_sum(), 600u);
+}
+
+TEST(TraceTest, GroupsSplitByOutcomeAndRepresentation) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  for (int i = 0; i < 3; ++i) {
+    CallTrace trace(tracer, "svc", "op");
+    trace.set_representation("A");
+    trace.set_outcome(Outcome::Hit);
+  }
+  {
+    CallTrace trace(tracer, "svc", "op");
+    trace.set_representation("A");
+    trace.set_outcome(Outcome::Miss);
+  }
+  {
+    CallTrace trace(tracer, "svc", "op");
+    trace.set_representation("B");
+    trace.set_outcome(Outcome::Hit);
+  }
+  TraceSummary summary = tracer.snapshot();
+  EXPECT_EQ(summary.groups.size(), 3u);
+  const GroupSummary* hit_a = summary.find("op", Outcome::Hit, "A");
+  ASSERT_NE(hit_a, nullptr);
+  EXPECT_EQ(hit_a->calls, 3u);
+  ASSERT_NE(summary.find("op", Outcome::Miss, "A"), nullptr);
+  ASSERT_NE(summary.find("op", Outcome::Hit, "B"), nullptr);
+  EXPECT_EQ(summary.find("op", Outcome::Revalidated, "A"), nullptr);
+}
+
+TEST(TraceTest, StageTimerAttributesToCurrentCall) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  EXPECT_EQ(current_call(), nullptr);
+  {
+    CallTrace trace(tracer, "svc", "op");
+    EXPECT_EQ(current_call(), &trace);
+    {
+      // Unbound form: how transports deep in the stack attribute time.
+      StageTimer timer(Stage::Backoff);
+    }
+    EXPECT_GT(trace.stage_ns(Stage::Backoff), 0u);
+  }
+  EXPECT_EQ(current_call(), nullptr);
+}
+
+TEST(TraceTest, NestedCallTraceRestoresOuter) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  CallTrace outer(tracer, "svc", "outer");
+  {
+    CallTrace inner(tracer, "svc", "inner");
+    EXPECT_EQ(current_call(), &inner);
+  }
+  EXPECT_EQ(current_call(), &outer);
+}
+
+TEST(TraceTest, ExemplarRingOverwritesOldestAndCountsDrops) {
+  Tracer tracer(/*ring_capacity=*/4);
+  tracer.set_enabled(true);
+  tracer.set_sample_every(1);
+  for (int i = 0; i < 10; ++i) {
+    CallTrace trace(tracer, "svc", "op");
+    trace.add_stage(Stage::KeyGen, static_cast<std::uint64_t>(i + 1));
+  }
+  TraceSummary summary = tracer.snapshot();
+  ASSERT_EQ(summary.exemplars.size(), 4u);
+  EXPECT_EQ(summary.dropped_exemplars, 6u);
+  // Oldest-first order of the survivors: calls 7..10.
+  EXPECT_EQ(summary.exemplars.front().stage(Stage::KeyGen), 7u);
+  EXPECT_EQ(summary.exemplars.back().stage(Stage::KeyGen), 10u);
+}
+
+TEST(TraceTest, SampleEveryKeepsEveryNth) {
+  Tracer tracer(/*ring_capacity=*/64);
+  tracer.set_enabled(true);
+  tracer.set_sample_every(4);
+  for (int i = 0; i < 16; ++i) CallTrace trace(tracer, "svc", "op");
+  TraceSummary summary = tracer.snapshot();
+  EXPECT_EQ(summary.exemplars.size(), 4u);
+  const GroupSummary* g = summary.find("op", Outcome::Error);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->calls, 16u);  // aggregates still see every call
+}
+
+TEST(TraceTest, SnapshotMergesThreadsAndSurvivesThreadExit) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kCalls = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < kCalls; ++i) {
+        CallTrace trace(tracer, "svc", "op");
+        trace.set_outcome(Outcome::Hit);
+        trace.add_stage(Stage::Lookup, 10);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();  // states must outlive their threads
+  TraceSummary summary = tracer.snapshot();
+  const GroupSummary* g = summary.find("op", Outcome::Hit);
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->calls, static_cast<std::uint64_t>(kThreads * kCalls));
+  EXPECT_EQ(g->stage(Stage::Lookup).sum_ns,
+            static_cast<std::uint64_t>(kThreads * kCalls) * 10u);
+  EXPECT_EQ(g->total_hist.count(), static_cast<std::uint64_t>(kThreads * kCalls));
+}
+
+TEST(TraceTest, ResetDropsEverything) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_sample_every(1);
+  { CallTrace trace(tracer, "svc", "op"); }
+  tracer.reset();
+  TraceSummary summary = tracer.snapshot();
+  EXPECT_TRUE(summary.groups.empty());
+  EXPECT_TRUE(summary.exemplars.empty());
+  EXPECT_EQ(summary.dropped_exemplars, 0u);
+  // The thread still publishes into the same tracer after a reset.
+  { CallTrace trace(tracer, "svc", "op"); }
+  EXPECT_EQ(tracer.snapshot().groups.size(), 1u);
+}
+
+TEST(TraceTest, TwoTracersOnOneThreadDoNotCollide) {
+  Tracer a, b;
+  a.set_enabled(true);
+  b.set_enabled(true);
+  { CallTrace trace(a, "svc", "op_a"); }
+  { CallTrace trace(b, "svc", "op_b"); }
+  ASSERT_EQ(a.snapshot().groups.size(), 1u);
+  ASSERT_EQ(b.snapshot().groups.size(), 1u);
+  EXPECT_EQ(a.snapshot().groups[0].labels.operation, "op_a");
+  EXPECT_EQ(b.snapshot().groups[0].labels.operation, "op_b");
+}
+
+TEST(TraceTest, StageAndOutcomeNamesAreStable) {
+  EXPECT_EQ(stage_name(Stage::KeyGen), "keygen");
+  EXPECT_EQ(stage_name(Stage::Wire), "wire");
+  EXPECT_EQ(outcome_name(Outcome::Hit), "hit");
+  EXPECT_EQ(outcome_name(Outcome::StaleServe), "stale_serve");
+}
+
+}  // namespace
+}  // namespace wsc::obs

@@ -74,6 +74,74 @@ TEST(HistogramTest, MergeCombinesCounts) {
   EXPECT_EQ(a.mean(), 20.0);
 }
 
+TEST(HistogramTest, MergeWithMismatchedResolutionPreservesAggregates) {
+  // Regression: merging a coarse histogram into a fine one used to
+  // re-record bucket upper bounds, corrupting count/sum/min/max (and thus
+  // mean and percentile(1.0)).  Aggregates must transfer exactly no matter
+  // the resolutions.
+  Histogram fine(6), coarse(2);
+  coarse.record(1'000'000);
+  coarse.record(3'000'000);
+  fine.record(500);
+  fine.merge(coarse);
+  EXPECT_EQ(fine.count(), 3u);
+  EXPECT_EQ(fine.min(), 500u);
+  EXPECT_EQ(fine.max(), 3'000'000u);
+  EXPECT_EQ(fine.mean(), (500.0 + 1'000'000.0 + 3'000'000.0) / 3.0);
+
+  // And the other direction (fine into coarse).
+  Histogram coarse2(2), fine2(6);
+  fine2.record(42);
+  fine2.record(99);
+  coarse2.record(7);
+  coarse2.merge(fine2);
+  EXPECT_EQ(coarse2.count(), 3u);
+  EXPECT_EQ(coarse2.min(), 7u);
+  EXPECT_EQ(coarse2.max(), 99u);
+  EXPECT_EQ(coarse2.mean(), (7.0 + 42.0 + 99.0) / 3.0);
+}
+
+TEST(HistogramTest, MergeMismatchedResolutionKeepsPercentilesSane) {
+  Histogram fine(6), coarse(2);
+  for (std::uint64_t v = 1; v <= 1000; ++v) coarse.record(v * 1000);
+  fine.merge(coarse);
+  // The translated buckets still answer percentiles within the coarse
+  // source's error bound (~25% at 2 sub-bucket bits).
+  std::uint64_t p50 = fine.percentile(0.5);
+  EXPECT_GE(p50, 350'000u);
+  EXPECT_LE(p50, 650'000u);
+}
+
+TEST(HistogramTest, MergeEmptyIsNoOp) {
+  Histogram a, empty;
+  a.record(10);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 10u);
+
+  Histogram b;
+  b.merge(a);  // merging into an empty histogram adopts a's extremes
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.min(), 10u);
+  EXPECT_EQ(b.max(), 10u);
+}
+
+TEST(HistogramTest, PercentileOneReturnsRecordedMax) {
+  // Regression: percentile(1.0) used to answer the bucket upper bound,
+  // which can exceed any recorded value; it must be the exact max.
+  Histogram h(2);
+  h.record(1'000'003);
+  h.record(5);
+  EXPECT_EQ(h.percentile(1.0), 1'000'003u);
+  EXPECT_EQ(h.percentile(2.0), 1'000'003u);  // clamped above 1.0
+}
+
+TEST(HistogramTest, SubBucketBitsAccessor) {
+  EXPECT_EQ(Histogram(3).sub_bucket_bits(), 3);
+  EXPECT_EQ(Histogram().sub_bucket_bits(), 5);
+}
+
 TEST(HistogramTest, RecordsDurations) {
   Histogram h;
   h.record(std::chrono::milliseconds(5));

@@ -1,0 +1,39 @@
+// promcheck: validate Prometheus text exposition format (version 0.0.4).
+//
+//   promcheck <file>     validate a saved scrape
+//   promcheck            validate stdin (e.g. curl .../metrics | promcheck)
+//
+// Exit 0 and "OK (<n> bytes)" when the input parses; exit 1 with the first
+// violation otherwise.  CI pipes the portal's /metrics endpoint through
+// this after the smoke run.
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "obs/promcheck.hpp"
+
+int main(int argc, char** argv) {
+  std::string input;
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "rb");
+    if (!f) {
+      std::fprintf(stderr, "promcheck: cannot open '%s'\n", argv[1]);
+      return 2;
+    }
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) input.append(buf, n);
+    std::fclose(f);
+  } else {
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), stdin)) > 0) input.append(buf, n);
+  }
+
+  if (std::optional<std::string> error = wsc::obs::validate_prometheus_text(input)) {
+    std::fprintf(stderr, "promcheck: %s\n", error->c_str());
+    return 1;
+  }
+  std::printf("OK (%zu bytes)\n", input.size());
+  return 0;
+}

@@ -1,14 +1,23 @@
 #include "core/cache_key.hpp"
 
+#include <cassert>
+
 #include "reflect/algorithms.hpp"
 #include "reflect/serialize.hpp"
 #include "soap/serializer.hpp"
-#include "util/hash.hpp"
 
 namespace wsc::cache {
 
 CacheKey::CacheKey(std::string material)
     : material_(std::move(material)), hash_(util::fnv1a(material_)) {}
+
+CacheKey CacheKey::with_hash(std::string material, std::uint64_t hash) {
+  assert(hash == util::fnv1a(material));
+  CacheKey key;
+  key.material_ = std::move(material);
+  key.hash_ = hash;
+  return key;
+}
 
 CacheKey XmlMessageKeyGenerator::generate(const soap::RpcRequest& request) const {
   // The request envelope embeds operation and parameters; prepend the
@@ -31,17 +40,32 @@ CacheKey SerializationKeyGenerator::generate(
   return CacheKey(std::move(material));
 }
 
-CacheKey ToStringKeyGenerator::generate(const soap::RpcRequest& request) const {
-  std::string material = request.endpoint;
-  material += '|';
-  material += request.operation;
+void ToStringKeyGenerator::generate_into(const soap::RpcRequest& request,
+                                         KeyScratch& scratch) const {
+  // The Table-6 fast path: append everything into the scratch's reused
+  // buffer.  reflect::to_string_append formats primitives with to_chars
+  // into the buffer directly, so once the buffer's capacity has warmed up
+  // this performs zero heap allocations per key.
+  scratch.reset();
+  std::string& out = scratch.buffer();
+  out += request.endpoint;
+  out += '|';
+  out += request.operation;
   for (const soap::Parameter& p : request.params) {
-    material += '|';
-    material += p.name;
-    material += '=';
-    material += reflect::to_string(p.value);
+    out += '|';
+    out += p.name;
+    out += '=';
+    reflect::to_string_append(p.value, out);
   }
-  return CacheKey(std::move(material));
+  scratch.finish();
+}
+
+CacheKey ToStringKeyGenerator::generate(const soap::RpcRequest& request) const {
+  // Delegate to the append path so owned keys and scratch refs are
+  // byte-identical by construction.
+  KeyScratch scratch;
+  generate_into(request, scratch);
+  return scratch.to_key();
 }
 
 std::unique_ptr<KeyGenerator> make_key_generator(KeyMethod method) {

@@ -83,10 +83,18 @@ reflect::Object CachingServiceClient::invoke(
     return remote_call(trace, request, op, RecordMode::None).object;
   }
 
-  CacheKey key = [&] {
+  // Zero-allocation keygen fast path: the key material is built into a
+  // per-thread reusable scratch (no owned CacheKey, no heap traffic once
+  // the buffer capacity has warmed up), and the cache is probed with the
+  // borrowed ref.  The owned key is only materialized on the slow paths
+  // (miss/store/stale handling), where a wire round trip dwarfs the copy.
+  // thread_local rather than a member so one client shared by concurrent
+  // callers (integration/concurrency_test) stays race-free.
+  thread_local KeyScratch scratch;
+  {
     obs::StageTimer timer(trace, obs::Stage::KeyGen);
-    return keygen_->generate(request);
-  }();
+    keygen_->generate_into(request, scratch);
+  }
   const bool allow_stale = policy.staleness.stale_if_error.count() > 0;
   // Revalidation (§3.2 HTTP hook): a stale entry with a Last-Modified may
   // be renewed by a conditional request instead of refetched.  A
@@ -98,7 +106,7 @@ reflect::Object CachingServiceClient::invoke(
   if (policy.revalidate || allow_stale) {
     ResponseCache::StaleLookup stale = [&] {
       obs::StageTimer timer(trace, obs::Stage::Lookup);
-      return cache_->lookup_for_revalidation(key);
+      return cache_->lookup_for_revalidation(scratch.ref());
     }();
     if (stale.fresh) {
       trace.set_representation(
@@ -114,7 +122,7 @@ reflect::Object CachingServiceClient::invoke(
   } else {
     std::shared_ptr<const CachedValue> value = [&] {
       obs::StageTimer timer(trace, obs::Stage::Lookup);
-      return cache_->lookup(key);
+      return cache_->lookup(scratch.ref());
     }();
     if (value) {
       trace.set_representation(representation_name(value->representation()));
@@ -123,6 +131,9 @@ reflect::Object CachingServiceClient::invoke(
       return value->retrieve();
     }
   }
+
+  // Miss path from here on: materialize the owned key once.
+  CacheKey key = scratch.to_key();
 
   // Resolve the representation from the *static* (WSDL) result type, so the
   // miss path knows before parsing whether to tee the events.

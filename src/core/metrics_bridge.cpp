@@ -23,8 +23,14 @@ void register_cache_metrics(obs::MetricsRegistry& registry,
        &StatsSnapshot::rejected_stores},
       {"wsc_cache_expirations_total", "Entries found expired",
        &StatsSnapshot::expirations},
-      {"wsc_cache_evictions_total", "LRU / byte-budget removals",
+      {"wsc_cache_evictions_total", "CLOCK / byte-budget removals",
        &StatsSnapshot::evictions},
+      {"wsc_cache_clock_sweeps_total",
+       "Ring slots examined by the CLOCK eviction hand",
+       &StatsSnapshot::clock_sweeps},
+      {"wsc_cache_second_chances_total",
+       "Marked (recently hit) entries spared by the eviction hand",
+       &StatsSnapshot::second_chances},
       {"wsc_cache_invalidations_total", "Explicit invalidate()/clear()",
        &StatsSnapshot::invalidations},
       {"wsc_cache_revalidations_total", "Stale entries refreshed via 304",

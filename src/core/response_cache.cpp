@@ -1,10 +1,22 @@
 #include "core/response_cache.hpp"
 
+#include <bit>
+#include <mutex>
+#include <thread>
+
 namespace wsc::cache {
+
+std::size_t default_shard_count() noexcept {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;  // the standard allows "unknown"
+  return std::bit_ceil(std::min<std::size_t>(hw, 64));
+}
 
 ResponseCache::ResponseCache(Config config, const util::Clock& clock)
     : config_(config), clock_(&clock) {
   if (config_.shards == 0) config_.shards = 1;
+  config_.shards = std::bit_ceil(config_.shards);  // mask-selectable
+  shard_mask_ = config_.shards - 1;
   per_shard_entries_ =
       std::max<std::size_t>(1, config_.max_entries / config_.shards);
   per_shard_bytes_ =
@@ -14,33 +26,58 @@ ResponseCache::ResponseCache(Config config, const util::Clock& clock)
     shards_.push_back(std::make_unique<Shard>());
 }
 
-ResponseCache::Shard& ResponseCache::shard_for(const CacheKey& key) {
-  // The table index uses the low hash bits; pick shards from the high ones
-  // so the two partitions stay independent.
-  return *shards_[(key.hash() >> 48) % shards_.size()];
-}
-
-std::shared_ptr<const CachedValue> ResponseCache::lookup(const CacheKey& key) {
-  Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mu);
+template <typename KeyLike>
+std::shared_ptr<const CachedValue> ResponseCache::lookup_impl(
+    const KeyLike& key) {
+  Shard& shard = shard_for_hash(CacheKey::Hasher{}(key));
+  const Tick now = tick(clock_->now());
+  {
+    // Fast path: shared lock only.  A hit reads the map, checks the atomic
+    // expiry tick, sets the CLOCK mark (relaxed — it is a recency hint,
+    // not a synchronization point) and copies the shared_ptr.  No list
+    // splice, no allocation, no exclusive section: concurrent hits on one
+    // shard proceed fully in parallel.
+    std::shared_lock lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      stats_.on_miss();
+      return nullptr;
+    }
+    if (now < it->second.expiry.load(std::memory_order_acquire)) {
+      it->second.mark.store(true, std::memory_order_relaxed);
+      stats_.on_hit();
+      return it->second.value;
+    }
+  }
+  // Rare path: the entry expired.  Re-find under the unique lock (it may
+  // have been refreshed, replaced, or erased since we dropped the shared
+  // lock) and lazily remove it if it is still dead.
+  std::unique_lock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     stats_.on_miss();
     return nullptr;
   }
-  if (clock_->now() >= it->second.expiry) {
-    erase_locked(shard, it);
-    stats_.on_expiration();
-    stats_.on_miss();
-    return nullptr;
+  if (tick(clock_->now()) <
+      it->second.expiry.load(std::memory_order_acquire)) {
+    // Raced with a concurrent store/refresh that revived the entry.
+    it->second.mark.store(true, std::memory_order_relaxed);
+    stats_.on_hit();
+    return it->second.value;
   }
-  // Refresh LRU position.  A repeated hot key is already at the front —
-  // the common case under zipfian traffic — and splice-to-self, while a
-  // no-op, still costs pointer chasing under the shard lock; skip it.
-  if (it->second.lru_it != shard.lru.begin())
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
-  stats_.on_hit();
-  return it->second.value;
+  erase_locked(shard, it);
+  stats_.on_expiration();
+  stats_.on_miss();
+  return nullptr;
+}
+
+std::shared_ptr<const CachedValue> ResponseCache::lookup(const CacheKey& key) {
+  return lookup_impl(key);
+}
+
+std::shared_ptr<const CachedValue> ResponseCache::lookup(
+    const CacheKeyRef& key) {
+  return lookup_impl(key);
 }
 
 void ResponseCache::store(const CacheKey& key,
@@ -52,35 +89,53 @@ void ResponseCache::store(const CacheKey& key,
     return;
   }
   std::size_t bytes = key.memory_size() + value->memory_size();
-  Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mu);
+  Shard& shard = shard_for_hash(key.hash());
+  const util::TimePoint now = clock_->now();
+  std::unique_lock lock(shard.mu);
   // One hash lookup for both the insert and the replace case: replacing an
-  // entry updates it in place (and reuses its LRU node) instead of the old
-  // erase-then-reinsert, which hashed the key twice and reallocated the
-  // node.
+  // entry updates it in place (and reuses its ring slot) instead of the
+  // old erase-then-reinsert, which hashed the key twice.
   auto [it, inserted] = shard.map.try_emplace(key);
   Entry& entry = it->second;
   if (inserted) {
-    shard.lru.push_front(key);
-    entry.lru_it = shard.lru.begin();
+    entry.key = &it->first;
+    // Splice just behind the hand: the sweep reaches the newcomer last
+    // (second-chance FIFO).  New entries enter with the mark CLEAR: CLOCK
+    // earns its second chance from a hit, not from mere admission
+    // (otherwise one sweep pass can never distinguish a hot entry from a
+    // cold newcomer).
+    if (shard.hand == nullptr) {
+      entry.ring_prev = entry.ring_next = &entry;
+      shard.hand = &entry;
+    } else {
+      Entry* hand = shard.hand;
+      entry.ring_prev = hand->ring_prev;
+      entry.ring_next = hand;
+      hand->ring_prev->ring_next = &entry;
+      hand->ring_prev = &entry;
+    }
   } else {
     shard.bytes -= entry.bytes;
-    if (entry.lru_it != shard.lru.begin())
-      shard.lru.splice(shard.lru.begin(), shard.lru, entry.lru_it);
+    // A replace is a use: spare the entry on the next sweep.
+    entry.mark.store(true, std::memory_order_relaxed);
   }
   entry.value = std::move(value);
-  entry.expiry = clock_->now() + ttl;
+  entry.expiry.store(tick(now + ttl), std::memory_order_release);
   entry.last_modified = last_modified;
   entry.bytes = bytes;
   shard.bytes += bytes;
   stats_.on_store();
-  evict_for_budget_locked(shard);
+  evict_for_budget_locked(shard, now);
 }
 
-ResponseCache::StaleLookup ResponseCache::lookup_for_revalidation(
-    const CacheKey& key) {
-  Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mu);
+template <typename KeyLike>
+ResponseCache::StaleLookup ResponseCache::lookup_for_revalidation_impl(
+    const KeyLike& key) {
+  Shard& shard = shard_for_hash(CacheKey::Hasher{}(key));
+  // Shared lock throughout: the fresh path only marks + counts, and the
+  // stale path deliberately leaves the entry alone (its outcome — refresh
+  // vs re-store vs drop — is the caller's).
+  std::shared_lock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) {
     stats_.on_miss();
@@ -88,49 +143,63 @@ ResponseCache::StaleLookup ResponseCache::lookup_for_revalidation(
   }
   StaleLookup out;
   out.value = it->second.value;
-  util::TimePoint now = clock_->now();
-  out.fresh = now < it->second.expiry;
   out.last_modified = it->second.last_modified;
-  if (!out.fresh) out.staleness = now - it->second.expiry;
+  const Tick now = tick(clock_->now());
+  const Tick expiry = it->second.expiry.load(std::memory_order_acquire);
+  out.fresh = now < expiry;
   if (out.fresh) {
-    if (it->second.lru_it != shard.lru.begin())
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    it->second.mark.store(true, std::memory_order_relaxed);
     stats_.on_hit();
+  } else {
+    out.staleness = util::Duration(now - expiry);
   }
-  // Stale entries: outcome (refresh vs re-store vs drop) is the caller's.
   return out;
+}
+
+ResponseCache::StaleLookup ResponseCache::lookup_for_revalidation(
+    const CacheKey& key) {
+  return lookup_for_revalidation_impl(key);
+}
+
+ResponseCache::StaleLookup ResponseCache::lookup_for_revalidation(
+    const CacheKeyRef& key) {
+  return lookup_for_revalidation_impl(key);
 }
 
 ResponseCache::StaleLookup ResponseCache::lookup_allow_stale(
     const CacheKey& key) const {
-  const Shard& shard = *shards_[(key.hash() >> 48) % shards_.size()];
-  std::lock_guard lock(shard.mu);
+  const Shard& shard = shard_for_hash(key.hash());
+  std::shared_lock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return {};
   StaleLookup out;
   out.value = it->second.value;
   out.last_modified = it->second.last_modified;
-  util::TimePoint now = clock_->now();
-  out.fresh = now < it->second.expiry;
-  if (!out.fresh) out.staleness = now - it->second.expiry;
+  const Tick now = tick(clock_->now());
+  const Tick expiry = it->second.expiry.load(std::memory_order_acquire);
+  out.fresh = now < expiry;
+  if (!out.fresh) out.staleness = util::Duration(now - expiry);
   return out;
 }
 
 bool ResponseCache::refresh(const CacheKey& key, std::chrono::milliseconds ttl) {
-  Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mu);
+  Shard& shard = shard_for_hash(key.hash());
+  // Renewing a lease mutates only the atomic expiry tick and the CLOCK
+  // mark, so a shared lock suffices — revalidation storms do not serialize
+  // against the hit path.
+  std::shared_lock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return false;
-  it->second.expiry = clock_->now() + ttl;
-  if (it->second.lru_it != shard.lru.begin())
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  it->second.expiry.store(tick(clock_->now() + ttl),
+                          std::memory_order_release);
+  it->second.mark.store(true, std::memory_order_relaxed);
   stats_.on_revalidation();
   return true;
 }
 
 bool ResponseCache::invalidate(const CacheKey& key) {
-  Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mu);
+  Shard& shard = shard_for_hash(key.hash());
+  std::unique_lock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return false;
   erase_locked(shard, it);
@@ -140,22 +209,22 @@ bool ResponseCache::invalidate(const CacheKey& key) {
 
 void ResponseCache::clear() {
   for (auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    std::unique_lock lock(shard->mu);
     std::size_t n = shard->map.size();
     shard->map.clear();
-    shard->lru.clear();
+    shard->hand = nullptr;
     shard->bytes = 0;
     for (std::size_t i = 0; i < n; ++i) stats_.on_invalidation();
   }
 }
 
 std::size_t ResponseCache::purge_expired() {
-  util::TimePoint now = clock_->now();
+  const Tick now = tick(clock_->now());
   std::size_t removed = 0;
   for (auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    std::unique_lock lock(shard->mu);
     for (auto it = shard->map.begin(); it != shard->map.end();) {
-      if (now >= it->second.expiry) {
+      if (now >= it->second.expiry.load(std::memory_order_acquire)) {
         auto victim = it++;
         erase_locked(*shard, victim);
         stats_.on_expiration();
@@ -171,7 +240,7 @@ std::size_t ResponseCache::purge_expired() {
 ResponseCache::Footprint ResponseCache::footprint() const {
   Footprint f;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mu);
+    std::shared_lock lock(shard->mu);
     f.entries += shard->map.size();
     f.bytes += shard->bytes;
   }
@@ -184,17 +253,41 @@ StatsSnapshot ResponseCache::stats() const {
 }
 
 void ResponseCache::erase_locked(Shard& shard, Map::iterator it) {
-  shard.bytes -= it->second.bytes;
-  shard.lru.erase(it->second.lru_it);
+  Entry& entry = it->second;
+  shard.bytes -= entry.bytes;
+  if (entry.ring_next == &entry) {
+    shard.hand = nullptr;  // last node
+  } else {
+    entry.ring_prev->ring_next = entry.ring_next;
+    entry.ring_next->ring_prev = entry.ring_prev;
+    if (shard.hand == &entry) shard.hand = entry.ring_next;
+  }
   shard.map.erase(it);
 }
 
-void ResponseCache::evict_for_budget_locked(Shard& shard) {
+void ResponseCache::evict_for_budget_locked(Shard& shard,
+                                            util::TimePoint now_tp) {
+  const Tick now = tick(now_tp);
   while (shard.map.size() > per_shard_entries_ ||
          (shard.bytes > per_shard_bytes_ && shard.map.size() > 1)) {
-    // Evict the least recently used entry (back of the list).
-    auto it = shard.map.find(shard.lru.back());
-    erase_locked(shard, it);
+    // CLOCK sweep: advance the hand until it finds an entry without a
+    // reference mark (clearing marks as it passes — the "second chance").
+    // Terminates because every pass over a marked entry clears its mark.
+    Entry* victim = shard.hand;
+    stats_.on_clock_sweep();
+    if (now >= victim->expiry.load(std::memory_order_acquire)) {
+      // Dead anyway: reclaim it as an expiration, not an eviction.
+      erase_locked(shard, shard.map.find(*victim->key));
+      stats_.on_expiration();
+      continue;
+    }
+    if (victim->mark.load(std::memory_order_relaxed)) {
+      victim->mark.store(false, std::memory_order_relaxed);
+      stats_.on_second_chance();
+      shard.hand = victim->ring_next;
+      continue;
+    }
+    erase_locked(shard, shard.map.find(*victim->key));
     stats_.on_eviction();
   }
 }

@@ -1,5 +1,6 @@
 // The response cache table: key -> (CachedValue, expiry), with TTL expiry,
-// LRU eviction under entry- and byte-budgets, and thread safety.
+// CLOCK (second-chance) eviction under entry- and byte-budgets, and a
+// contention-free hit path.
 //
 // The paper holds all cached objects in memory ("for fair comparison, we
 // held all of the cached objects in memory") and notes small memory usage
@@ -7,18 +8,31 @@
 // footprint (Table 9) so eviction pressure reflects the representation
 // choice.
 //
-// Concurrency: the table can be split into independently-locked shards
-// (Config::shards).  One shard (the default) gives globally exact LRU;
-// more shards trade LRU exactness for lower lock contention under the
-// Figure-4 style 25-client hammering (bench_ablation_sharding measures
-// the difference).  Entry/byte budgets are split evenly across shards.
+// Concurrency model (DESIGN.md §9): the paper's whole argument is that
+// per-hit cost decides whether response caching pays off (Tables 6/7), so
+// a hit must not serialize behind other hits.  Each shard is guarded by a
+// std::shared_mutex:
+//
+//   hit      shared_lock + relaxed CLOCK-mark store + atomic stat bump;
+//            no list splice, no allocation, no exclusive section.
+//   expiry   a lock-free read of the entry's atomic expiry tick; an entry
+//            found expired is removed on a rare unique_lock slow path.
+//   store /  unique_lock; eviction sweeps a per-shard clock hand over a
+//   evict    ring of entries, sparing (and unmarking) recently-hit ones.
+//
+// Recency is therefore *approximate* (one reference bit instead of exact
+// LRU order) — the trade every reader-optimized cache in PAPERS.md makes
+// (memcached's striped LRU, S3-FIFO/CLOCK) and faithful to the paper,
+// whose policy knobs are TTL and capacity, not an eviction-order contract.
+//
+// The table can additionally be split into independently-locked shards
+// (Config::shards); entry/byte budgets are split evenly across shards.
 #pragma once
 
 #include <chrono>
-#include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -29,13 +43,27 @@
 
 namespace wsc::cache {
 
+/// Default shard count: the smallest power of two >= the hardware thread
+/// count, clamped to [1, 64].  Power of two so the high-bit shard index
+/// distributes evenly; clamped so a 256-vCPU host does not split a small
+/// byte budget into homeopathic per-shard slices.
+std::size_t default_shard_count() noexcept;
+
 class ResponseCache {
  public:
   struct Config {
     std::size_t max_entries = 100'000;
     std::size_t max_bytes = 256 * 1024 * 1024;
-    /// Number of independently locked shards (>= 1).
-    std::size_t shards = 1;
+    /// Number of independently locked shards (>= 1), rounded UP to the
+    /// next power of two so shard selection is a mask, not a division
+    /// (the old `% shards` cost a hardware divide on every lookup).
+    /// Defaults to default_shard_count() — a power of two derived from
+    /// std::thread::hardware_concurrency().  NOTE: budgets are split
+    /// evenly across shards, so with S shards a single shard evicts once
+    /// it holds max_entries/S entries (or max_bytes/S bytes) even if the
+    /// table as a whole is under budget.  Tests that assert exact
+    /// eviction behavior must pin shards = 1.
+    std::size_t shards = default_shard_count();
   };
 
   ResponseCache() : ResponseCache(Config{}) {}
@@ -44,8 +72,12 @@ class ResponseCache {
 
   /// Fresh-entry lookup.  Returns the stored value (shared; retrieve() is
   /// const and thread-safe) or nullptr on miss/expired.  Counts
-  /// hits/misses/expirations and refreshes LRU order.
+  /// hits/misses/expirations and sets the entry's CLOCK reference mark.
+  /// Hits take only a shared lock: concurrent hits never serialize.
   std::shared_ptr<const CachedValue> lookup(const CacheKey& key);
+  /// Zero-allocation variant: looks up borrowed key material (a
+  /// KeyScratch's ref()) without constructing an owned CacheKey.
+  std::shared_ptr<const CachedValue> lookup(const CacheKeyRef& key);
 
   /// Insert or replace.  `ttl` bounds the entry's life from now;
   /// `last_modified` (server-supplied) enables later revalidation.
@@ -70,10 +102,11 @@ class ResponseCache {
     util::Duration staleness{0};
   };
   StaleLookup lookup_for_revalidation(const CacheKey& key);
+  StaleLookup lookup_for_revalidation(const CacheKeyRef& key);
 
   /// Degraded-mode lookup (stale-if-error): same exposure of expired
   /// entries as lookup_for_revalidation but with NO side effects — no
-  /// hit/miss accounting, no LRU refresh, and crucially no expiry
+  /// hit/miss accounting, no recency mark, and crucially no expiry
   /// eviction, so the fallback entry a failing wire call needs cannot be
   /// destroyed by the lookup that finds it.  The fresh-only lookup()
   /// semantics are unchanged.  Callers report the outcome themselves
@@ -81,7 +114,8 @@ class ResponseCache {
   StaleLookup lookup_allow_stale(const CacheKey& key) const;
 
   /// Give an existing (possibly expired) entry a new lease after a 304.
-  /// Returns false if the entry vanished meanwhile.
+  /// Returns false if the entry vanished meanwhile.  Shared-lock only:
+  /// the new expiry is an atomic store on the entry's expiry tick.
   bool refresh(const CacheKey& key, std::chrono::milliseconds ttl);
 
   /// Remove one entry; true if it existed.
@@ -111,28 +145,64 @@ class ResponseCache {
   CacheStats& counters() noexcept { return stats_; }
 
  private:
+  /// Expiry is an atomic tick (nanoseconds on the util::Clock timeline) so
+  /// the hit path's freshness check is a lock-free load and refresh() can
+  /// renew a lease under a shared lock.
+  using Tick = util::Duration::rep;
+  static Tick tick(util::TimePoint t) noexcept {
+    return t.time_since_epoch().count();
+  }
+
   struct Entry {
-    std::shared_ptr<const CachedValue> value;
-    util::TimePoint expiry;
+    std::shared_ptr<const CachedValue> value;  // replaced under unique_lock
+    std::atomic<Tick> expiry{0};
+    /// CLOCK reference bit: set (relaxed) by every hit, cleared by the
+    /// sweeping hand.  The only thing a hit writes besides stats.
+    std::atomic<bool> mark{false};
     std::optional<std::chrono::seconds> last_modified;
     std::size_t bytes = 0;
-    std::list<CacheKey>::iterator lru_it;
+    const CacheKey* key = nullptr;  // the map node's key (stable address)
+    /// Intrusive circular CLOCK ring links (mutated only under the unique
+    /// lock; hits never touch them).  New entries are spliced just BEHIND
+    /// the hand, so the sweep reaches them last — classic second-chance
+    /// FIFO order, with no per-hit list mutation.
+    Entry* ring_prev = nullptr;
+    Entry* ring_next = nullptr;
   };
 
-  using Map = std::unordered_map<CacheKey, Entry, CacheKey::Hasher>;
+  // unordered_map: node-based, so Entry and key addresses are stable
+  // across rehash (iterators are NOT — the CLOCK ring therefore links
+  // Entry pointers, and eviction erases by key).
+  using Map = std::unordered_map<CacheKey, Entry, CacheKey::Hasher,
+                                 CacheKey::Eq>;
 
   struct Shard {
-    mutable std::mutex mu;
+    mutable std::shared_mutex mu;
     Map map;
-    std::list<CacheKey> lru;  // front = most recently used
+    Entry* hand = nullptr;  // next ring node the sweep examines
     std::size_t bytes = 0;
   };
 
-  Shard& shard_for(const CacheKey& key);
+  Shard& shard_for_hash(std::uint64_t hash) {
+    // The table index uses the low hash bits; pick shards from the high
+    // ones so the two partitions stay independent.  Shard counts are
+    // powers of two, so this is a mask, not a divide.
+    return *shards_[(hash >> 48) & shard_mask_];
+  }
+  const Shard& shard_for_hash(std::uint64_t hash) const {
+    return *shards_[(hash >> 48) & shard_mask_];
+  }
+
+  template <typename KeyLike>
+  std::shared_ptr<const CachedValue> lookup_impl(const KeyLike& key);
+  template <typename KeyLike>
+  StaleLookup lookup_for_revalidation_impl(const KeyLike& key);
+
   void erase_locked(Shard& shard, Map::iterator it);
-  void evict_for_budget_locked(Shard& shard);
+  void evict_for_budget_locked(Shard& shard, util::TimePoint now);
 
   Config config_;
+  std::size_t shard_mask_;
   std::size_t per_shard_entries_;
   std::size_t per_shard_bytes_;
   const util::Clock* clock_;

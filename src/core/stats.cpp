@@ -5,11 +5,12 @@
 namespace wsc::cache {
 
 std::string StatsSnapshot::to_string() const {
-  char buf[448];
+  char buf[640];
   std::snprintf(buf, sizeof(buf),
                 "hits=%llu misses=%llu (ratio %.1f%%) stores=%llu "
                 "rejected_stores=%llu "
-                "expired=%llu evicted=%llu revalidated=%llu uncacheable=%llu "
+                "expired=%llu evicted=%llu clock_sweeps=%llu "
+                "second_chances=%llu revalidated=%llu uncacheable=%llu "
                 "stale_serves=%llu retries=%llu breaker_opens=%llu "
                 "breaker_probes=%llu deadline_hits=%llu "
                 "entries=%llu bytes=%llu",
@@ -19,6 +20,8 @@ std::string StatsSnapshot::to_string() const {
                 static_cast<unsigned long long>(rejected_stores),
                 static_cast<unsigned long long>(expirations),
                 static_cast<unsigned long long>(evictions),
+                static_cast<unsigned long long>(clock_sweeps),
+                static_cast<unsigned long long>(second_chances),
                 static_cast<unsigned long long>(revalidations),
                 static_cast<unsigned long long>(uncacheable),
                 static_cast<unsigned long long>(stale_serves),
@@ -47,6 +50,8 @@ std::string stats_json(const StatsSnapshot& s) {
   field("rejected_stores", s.rejected_stores);
   field("expirations", s.expirations);
   field("evictions", s.evictions);
+  field("clock_sweeps", s.clock_sweeps);
+  field("second_chances", s.second_chances);
   field("invalidations", s.invalidations);
   field("revalidations", s.revalidations);
   field("uncacheable", s.uncacheable);
@@ -67,12 +72,14 @@ std::string stats_json(const StatsSnapshot& s) {
 StatsSnapshot CacheStats::snapshot(std::uint64_t entries,
                                    std::uint64_t bytes) const {
   StatsSnapshot s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.stores = stores_.load(std::memory_order_relaxed);
+  s.hits = hits_.v.load(std::memory_order_relaxed);
+  s.misses = misses_.v.load(std::memory_order_relaxed);
+  s.stores = stores_.v.load(std::memory_order_relaxed);
   s.rejected_stores = rejected_stores_.load(std::memory_order_relaxed);
-  s.expirations = expirations_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.expirations = expirations_.v.load(std::memory_order_relaxed);
+  s.evictions = evictions_.v.load(std::memory_order_relaxed);
+  s.clock_sweeps = clock_sweeps_.load(std::memory_order_relaxed);
+  s.second_chances = second_chances_.load(std::memory_order_relaxed);
   s.invalidations = invalidations_.load(std::memory_order_relaxed);
   s.revalidations = revalidations_.load(std::memory_order_relaxed);
   s.uncacheable = uncacheable_.load(std::memory_order_relaxed);

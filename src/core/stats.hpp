@@ -1,8 +1,18 @@
 // Cache instrumentation counters (thread-safe).
+//
+// Layout matters here: these counters are bumped from the cache's
+// contention-free hit path, where a single shared cache line would undo
+// the shared_mutex work — every hit on every core would still ping-pong
+// one line of atomics ("false sharing").  The write-hot counters (hits,
+// misses, stores, expirations, evictions) therefore each own a 64-byte
+// cache line via alignas; the cold administrative counters share one.
+// All increments and snapshot loads use relaxed ordering consistently —
+// they are monotonic tallies, not synchronization points.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <new>
 #include <string>
 
 namespace wsc::cache {
@@ -14,7 +24,9 @@ struct StatsSnapshot {
   std::uint64_t stores = 0;
   std::uint64_t rejected_stores = 0;  // store() with a non-positive TTL
   std::uint64_t expirations = 0;   // entries found expired on lookup
-  std::uint64_t evictions = 0;     // LRU / byte-budget removals
+  std::uint64_t evictions = 0;     // CLOCK / byte-budget removals
+  std::uint64_t clock_sweeps = 0;  // ring slots the eviction hand examined
+  std::uint64_t second_chances = 0;  // marked entries spared by the hand
   std::uint64_t invalidations = 0; // explicit invalidate()/clear()
   std::uint64_t revalidations = 0; // stale entries refreshed via 304
   std::uint64_t uncacheable = 0;   // calls bypassing the cache per policy
@@ -41,12 +53,14 @@ std::string stats_json(const StatsSnapshot& snapshot);
 
 class CacheStats {
  public:
-  void on_hit() { hits_.fetch_add(1, std::memory_order_relaxed); }
-  void on_miss() { misses_.fetch_add(1, std::memory_order_relaxed); }
-  void on_store() { stores_.fetch_add(1, std::memory_order_relaxed); }
+  void on_hit() { hits_.v.fetch_add(1, std::memory_order_relaxed); }
+  void on_miss() { misses_.v.fetch_add(1, std::memory_order_relaxed); }
+  void on_store() { stores_.v.fetch_add(1, std::memory_order_relaxed); }
   void on_rejected_store() { rejected_stores_.fetch_add(1, std::memory_order_relaxed); }
-  void on_expiration() { expirations_.fetch_add(1, std::memory_order_relaxed); }
-  void on_eviction() { evictions_.fetch_add(1, std::memory_order_relaxed); }
+  void on_expiration() { expirations_.v.fetch_add(1, std::memory_order_relaxed); }
+  void on_eviction() { evictions_.v.fetch_add(1, std::memory_order_relaxed); }
+  void on_clock_sweep() { clock_sweeps_.fetch_add(1, std::memory_order_relaxed); }
+  void on_second_chance() { second_chances_.fetch_add(1, std::memory_order_relaxed); }
   void on_invalidation() { invalidations_.fetch_add(1, std::memory_order_relaxed); }
   void on_revalidation() { revalidations_.fetch_add(1, std::memory_order_relaxed); }
   void on_uncacheable() { uncacheable_.fetch_add(1, std::memory_order_relaxed); }
@@ -59,11 +73,21 @@ class CacheStats {
   StatsSnapshot snapshot(std::uint64_t entries, std::uint64_t bytes) const;
 
  private:
-  std::atomic<std::uint64_t> hits_{0}, misses_{0}, stores_{0},
-      rejected_stores_{0}, expirations_{0}, evictions_{0}, invalidations_{0},
-      revalidations_{0}, uncacheable_{0}, stale_serves_{0},
-      transport_retries_{0}, breaker_opens_{0}, breaker_probes_{0},
-      deadline_hits_{0};
+  /// One counter alone on its cache line.  (Not
+  /// hardware_destructive_interference_size: GCC warns it is ABI-unstable
+  /// across -mtune; 64 is right for every deployment target we have.)
+  struct alignas(64) Padded {
+    std::atomic<std::uint64_t> v{0};
+  };
+
+  // Write-hot (bumped per lookup/store on the fast path): padded.
+  Padded hits_, misses_, stores_, expirations_, evictions_;
+  // Cold (eviction sweeps, admin ops, fault handling): packed together is
+  // fine — they are never bumped from the contention-free hit path.
+  std::atomic<std::uint64_t> rejected_stores_{0}, clock_sweeps_{0},
+      second_chances_{0}, invalidations_{0}, revalidations_{0},
+      uncacheable_{0}, stale_serves_{0}, transport_retries_{0},
+      breaker_opens_{0}, breaker_probes_{0}, deadline_hits_{0};
 };
 
 }  // namespace wsc::cache

@@ -134,30 +134,46 @@ bool deep_equals(const Object& a, const Object& b) {
   return Cmp::eq(a.type(), a.data(), b.data());
 }
 
-std::string to_string(const TypeInfo& t, const void* value) {
-  if (t.to_string_fn) return t.to_string_fn(value);
+void to_string_append(const TypeInfo& t, const void* value, std::string& out) {
+  // The builtin primitives carry an allocation-free appender; a custom
+  // to_string_fn without one appends its temporary (correct, just not the
+  // zero-alloc fast path).
+  if (t.to_string_append_fn) {
+    t.to_string_append_fn(value, out);
+    return;
+  }
+  if (t.to_string_fn) {
+    out += t.to_string_fn(value);
+    return;
+  }
   switch (t.kind) {
     case Kind::Array: {
-      std::string out = "[";
+      out += '[';
       std::size_t n = t.array_size(value);
       for (std::size_t i = 0; i < n; ++i) {
-        if (i > 0) out += ",";
-        out += to_string(*t.element, t.array_at(const_cast<void*>(value), i));
+        if (i > 0) out += ',';
+        to_string_append(*t.element, t.array_at(const_cast<void*>(value), i),
+                         out);
       }
-      return out + "]";
+      out += ']';
+      return;
     }
     case Kind::Struct: {
       if (!t.traits.bean)
         throw SerializationError("toString: type '" + t.name +
                                  "' has no usable toString method");
-      std::string out = t.name + "{";
+      out += t.name;
+      out += '{';
       bool first = true;
       for (const FieldInfo& f : t.fields) {
-        if (!first) out += ",";
+        if (!first) out += ',';
         first = false;
-        out += f.name + "=" + to_string(*f.type, f.cptr(value));
+        out += f.name;
+        out += '=';
+        to_string_append(*f.type, f.cptr(value), out);
       }
-      return out + "}";
+      out += '}';
+      return;
     }
     default:
       // Primitive without a to_string_fn: only Bytes lands here — its Java
@@ -165,6 +181,20 @@ std::string to_string(const TypeInfo& t, const void* value) {
       throw SerializationError("toString: type '" + t.name +
                                "' has no usable toString method");
   }
+}
+
+void to_string_append(const Object& obj, std::string& out) {
+  if (obj.is_null()) {
+    out += "null";
+    return;
+  }
+  to_string_append(obj.type(), obj.data(), out);
+}
+
+std::string to_string(const TypeInfo& t, const void* value) {
+  std::string out;
+  to_string_append(t, value, out);
+  return out;
 }
 
 std::string to_string(const Object& obj) {

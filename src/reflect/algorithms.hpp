@@ -49,6 +49,15 @@ bool deep_equals(const Object& a, const Object& b);
 std::string to_string(const Object& obj);
 std::string to_string(const TypeInfo& type, const void* value);
 
+/// Append-style reflective toString: writes the SAME bytes as to_string()
+/// directly into `out`, formatting primitives with to_chars — the
+/// zero-allocation cache-key path (ToStringKeyGenerator::generate_into).
+/// to_string() itself is implemented on top of this, so the two can never
+/// disagree.  A null Object appends "null".
+void to_string_append(const Object& obj, std::string& out);
+void to_string_append(const TypeInfo& type, const void* value,
+                      std::string& out);
+
 /// Deep in-memory footprint in bytes: shallow sizeof plus all owned heap
 /// (string/vector capacities, recursively).  Shared-ptr control blocks are
 /// charged once for the top-level object.

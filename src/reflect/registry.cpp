@@ -72,30 +72,46 @@ const TypeInfo& register_once(TypeInfo&& proto) {
 }  // namespace
 
 const TypeInfo& builtin_bool() {
-  static const TypeInfo& t = register_once(make_primitive<bool>(
+  TypeInfo proto = make_primitive<bool>(
       "boolean", Kind::Bool, true,
-      [](const bool& v) { return std::string(v ? "true" : "false"); }));
+      [](const bool& v) { return std::string(v ? "true" : "false"); });
+  proto.to_string_append_fn = [](const void* p, std::string& out) {
+    out += *static_cast<const bool*>(p) ? "true" : "false";
+  };
+  static const TypeInfo& t = register_once(std::move(proto));
   return t;
 }
 
 const TypeInfo& builtin_i32() {
-  static const TypeInfo& t = register_once(make_primitive<std::int32_t>(
+  TypeInfo proto = make_primitive<std::int32_t>(
       "int", Kind::Int32, true,
-      [](const std::int32_t& v) { return std::to_string(v); }));
+      [](const std::int32_t& v) { return std::to_string(v); });
+  proto.to_string_append_fn = [](const void* p, std::string& out) {
+    util::append_i64(out, *static_cast<const std::int32_t*>(p));
+  };
+  static const TypeInfo& t = register_once(std::move(proto));
   return t;
 }
 
 const TypeInfo& builtin_i64() {
-  static const TypeInfo& t = register_once(make_primitive<std::int64_t>(
+  TypeInfo proto = make_primitive<std::int64_t>(
       "long", Kind::Int64, true,
-      [](const std::int64_t& v) { return std::to_string(v); }));
+      [](const std::int64_t& v) { return std::to_string(v); });
+  proto.to_string_append_fn = [](const void* p, std::string& out) {
+    util::append_i64(out, *static_cast<const std::int64_t*>(p));
+  };
+  static const TypeInfo& t = register_once(std::move(proto));
   return t;
 }
 
 const TypeInfo& builtin_double() {
-  static const TypeInfo& t = register_once(make_primitive<double>(
+  TypeInfo proto = make_primitive<double>(
       "double", Kind::Double, true,
-      [](const double& v) { return util::format_double(v); }));
+      [](const double& v) { return util::format_double(v); });
+  proto.to_string_append_fn = [](const void* p, std::string& out) {
+    util::append_double(out, *static_cast<const double*>(p));
+  };
+  static const TypeInfo& t = register_once(std::move(proto));
   return t;
 }
 
@@ -103,6 +119,9 @@ const TypeInfo& builtin_string() {
   TypeInfo proto = make_primitive<std::string>(
       "string", Kind::String, /*immutable=*/true,
       [](const std::string& v) { return v; });
+  proto.to_string_append_fn = [](const void* p, std::string& out) {
+    out += *static_cast<const std::string*>(p);
+  };
   proto.owned_heap_fn = [](const void* p) {
     return static_cast<const std::string*>(p)->capacity();
   };

@@ -91,6 +91,11 @@ class TypeInfo {
   /// Custom to_string; null means "use the reflective default if bean,
   /// otherwise the type has no usable toString" (paper 4.1.2B).
   std::function<std::string(const void*)> to_string_fn;
+  /// Allocation-free companion to to_string_fn: appends the SAME bytes
+  /// directly into the caller's buffer (the zero-allocation cache-key
+  /// path).  Set for the builtin primitives; a custom to_string_fn without
+  /// one falls back to appending to_string_fn's temporary.
+  std::function<void(const void*, std::string&)> to_string_append_fn;
   /// Heap bytes owned directly by a primitive value (string/bytes
   /// capacity); null for kinds with no owned heap.
   std::function<std::size_t(const void*)> owned_heap_fn;

@@ -73,6 +73,20 @@ std::string format_double(double v) {
   return std::string(buf, ptr);
 }
 
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;  // 32 bytes always suffice for a 64-bit integer
+  out.append(buf, ptr);
+}
+
+void append_double(std::string& out, double v) {
+  char buf[64];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) throw Error("append_double failed");
+  out.append(buf, ptr);
+}
+
 std::int64_t parse_i64(std::string_view s) {
   s = trim(s);
   std::int64_t v = 0;

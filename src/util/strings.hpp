@@ -30,6 +30,13 @@ bool ends_with(std::string_view s, std::string_view suffix);
 /// shortest representation that round-trips (std::to_chars).
 std::string format_double(double v);
 
+/// Append-style formatters: to_chars into a stack buffer, then append to
+/// `out` — no temporary string, so a caller reusing `out`'s capacity pays
+/// zero heap allocations (the cache-key fast path).  Byte-identical output
+/// to std::to_string (integers) / format_double.
+void append_i64(std::string& out, std::int64_t v);
+void append_double(std::string& out, double v);
+
 /// Strict integer parse; throws wsc::ParseError on garbage or overflow.
 std::int64_t parse_i64(std::string_view s);
 std::int32_t parse_i32(std::string_view s);

@@ -1,5 +1,9 @@
-// ResponseCache table mechanics: TTL expiry (manual clock), LRU eviction,
-// byte budgets, stats, thread safety.
+// ResponseCache table mechanics: TTL expiry (manual clock), CLOCK
+// (second-chance) eviction, byte budgets, stats, thread safety.
+//
+// Budget-exact tests pin shards = 1: the default shard count derives from
+// the host's hardware concurrency, and per-shard budget splits would make
+// tiny-budget eviction counts machine-dependent.
 #include "core/response_cache.hpp"
 
 #include <gtest/gtest.h>
@@ -109,7 +113,7 @@ TEST(ResponseCacheTest, RejectedStoreLeavesExistingEntryUntouched) {
 TEST(ResponseCacheTest, RejectedStoreCannotEvictLiveEntries) {
   // The old behavior charged an already-expired entry against the byte
   // budget, which could evict live entries before lazy expiry noticed it.
-  ResponseCache cache(ResponseCache::Config{.max_entries = 2});
+  ResponseCache cache(ResponseCache::Config{.max_entries = 2, .shards = 1});
   cache.store(key("a"), value(1), minutes(1));
   cache.store(key("b"), value(2), minutes(1));
   cache.store(key("dead"), value(3), milliseconds(0));
@@ -139,23 +143,29 @@ TEST(ResponseCacheTest, PurgeExpiredSweepsEagerly) {
   EXPECT_EQ(cache.entry_count(), 1u);
 }
 
-TEST(ResponseCacheTest, LruEvictionAtEntryCap) {
-  ResponseCache cache(ResponseCache::Config{.max_entries = 3});
+TEST(ResponseCacheTest, ClockEvictionAtEntryCap) {
+  // CLOCK second chance: a hit sets the entry's reference mark, so the
+  // sweeping hand spares 'a' (clearing its mark) and evicts the first
+  // unmarked entry after it — 'b', exactly what exact LRU would pick here.
+  ResponseCache cache(ResponseCache::Config{.max_entries = 3, .shards = 1});
   cache.store(key("a"), value(1), minutes(1));
   cache.store(key("b"), value(2), minutes(1));
   cache.store(key("c"), value(3), minutes(1));
-  cache.lookup(key("a"));  // refresh a: now b is LRU
+  cache.lookup(key("a"));  // marks a: the hand will spare it
   cache.store(key("d"), value(4), minutes(1));
   EXPECT_EQ(cache.entry_count(), 3u);
   EXPECT_EQ(cache.lookup(key("b")), nullptr);  // b evicted
   EXPECT_NE(cache.lookup(key("a")), nullptr);
   EXPECT_NE(cache.lookup(key("c")), nullptr);
   EXPECT_NE(cache.lookup(key("d")), nullptr);
-  EXPECT_EQ(cache.stats().evictions, 1u);
+  StatsSnapshot s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.second_chances, 1u);  // a was spared once
+  EXPECT_EQ(s.clock_sweeps, 2u);    // hand examined a (spared), b (evicted)
 }
 
 TEST(ResponseCacheTest, ByteBudgetEviction) {
-  ResponseCache cache(ResponseCache::Config{.max_bytes = 1000});
+  ResponseCache cache(ResponseCache::Config{.max_bytes = 1000, .shards = 1});
   for (int i = 0; i < 10; ++i)
     cache.store(key("k" + std::to_string(i)), value(i, 300), minutes(1));
   EXPECT_LE(cache.bytes_used(), 1000u + 400u);  // one entry may straddle

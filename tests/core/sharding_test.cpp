@@ -2,6 +2,7 @@
 // single-shard table; only lock granularity changes.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <thread>
 
 #include "core/response_cache.hpp"
@@ -100,6 +101,17 @@ TEST_P(ShardCounts, ConcurrentHammering) {
 
 INSTANTIATE_TEST_SUITE_P(Shards, ShardCounts,
                          ::testing::Values(1, 2, 4, 8, 16, 64));
+
+TEST(ShardingTest, DefaultShardCountIsClampedPowerOfTwo) {
+  std::size_t s = default_shard_count();
+  EXPECT_GE(s, 1u);
+  EXPECT_LE(s, 64u);
+  EXPECT_TRUE(std::has_single_bit(s)) << s;
+  // The Config default picks it up (budget-split consequences documented
+  // in the header: per-shard budget = global budget / shards).
+  ResponseCache::Config config;
+  EXPECT_EQ(config.shards, s);
+}
 
 TEST(ShardingTest, ZeroShardsClampedToOne) {
   ResponseCache::Config config;

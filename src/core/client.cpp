@@ -1,5 +1,6 @@
 #include "core/client.hpp"
 
+#include "obs/events.hpp"
 #include "soap/deserializer.hpp"
 #include "soap/serializer.hpp"
 #include "transport/retry.hpp"
@@ -13,9 +14,23 @@ void bind_transport_stats(transport::RetryingTransport& transport,
                           CacheStats& stats) {
   transport::RetryingTransport::Listener listener;
   listener.on_retry = [&stats] { stats.on_transport_retry(); };
-  listener.on_breaker_open = [&stats] { stats.on_breaker_open(); };
-  listener.on_breaker_probe = [&stats] { stats.on_breaker_probe(); };
-  listener.on_deadline_hit = [&stats] { stats.on_deadline_hit(); };
+  // Breaker transitions and deadline hits are rare, load-bearing state
+  // changes: counted AND logged as structured events.
+  listener.on_breaker_open = [&stats] {
+    stats.on_breaker_open();
+    obs::event_log().emit(obs::EventKind::BreakerOpen, "transport",
+                          "circuit breaker opened after repeated failures");
+  };
+  listener.on_breaker_probe = [&stats] {
+    stats.on_breaker_probe();
+    obs::event_log().emit(obs::EventKind::BreakerProbe, "transport",
+                          "half-open probe call admitted");
+  };
+  listener.on_deadline_hit = [&stats] {
+    stats.on_deadline_hit();
+    obs::event_log().emit(obs::EventKind::DeadlineHit, "transport",
+                          "per-call deadline exceeded");
+  };
   transport.set_listener(std::move(listener));
 }
 
@@ -83,6 +98,30 @@ reflect::Object CachingServiceClient::invoke(
     return remote_call(trace, request, op, RecordMode::None).object;
   }
 
+  // Cost-profile hit sampling: every profile_sample_every-th cacheable
+  // call per thread takes a timestamp BEFORE keygen, so a sampled hit's
+  // recorded latency covers keygen + lookup + retrieve — the full Table 7
+  // hit cost.  Unsampled hits pay one thread_local increment and branch.
+  obs::CostProfiles* const profiles = options_.profiles.get();
+  bool profile_hit_sample = false;
+  std::uint64_t hit_t0 = 0;
+  if (profiles) [[unlikely]] {
+    thread_local std::uint32_t profile_tick = 0;
+    if (++profile_tick >= options_.profile_sample_every) {
+      profile_tick = 0;
+      profile_hit_sample = true;
+      hit_t0 = obs::now_ns();
+    }
+  }
+  const auto record_profile_hit = [&](const CachedValue& value) {
+    if (profile_hit_sample) [[unlikely]]
+      profiles->record_hit(
+          description_->name(), operation,
+          representation_name(value.representation()),
+          obs::now_ns() - hit_t0,
+          options_.profile_sample_every ? options_.profile_sample_every : 1);
+  };
+
   // Zero-allocation keygen fast path: the key material is built into a
   // per-thread reusable scratch (no owned CacheKey, no heap traffic once
   // the buffer capacity has warmed up), and the cache is probed with the
@@ -112,8 +151,12 @@ reflect::Object CachingServiceClient::invoke(
       trace.set_representation(
           representation_name(stale.value->representation()));
       trace.set_outcome(obs::Outcome::Hit);
-      obs::StageTimer timer(trace, obs::Stage::Retrieve);
-      return stale.value->retrieve();
+      reflect::Object object = [&] {
+        obs::StageTimer timer(trace, obs::Stage::Retrieve);
+        return stale.value->retrieve();
+      }();
+      record_profile_hit(*stale.value);
+      return object;
     }
     if (stale.value) {
       had_stale_entry = true;
@@ -127,8 +170,12 @@ reflect::Object CachingServiceClient::invoke(
     if (value) {
       trace.set_representation(representation_name(value->representation()));
       trace.set_outcome(obs::Outcome::Hit);
-      obs::StageTimer timer(trace, obs::Stage::Retrieve);
-      return value->retrieve();
+      reflect::Object object = [&] {
+        obs::StageTimer timer(trace, obs::Stage::Retrieve);
+        return value->retrieve();
+      }();
+      record_profile_hit(*value);
+      return object;
     }
   }
 
@@ -153,6 +200,9 @@ reflect::Object CachingServiceClient::invoke(
 
   trace.set_representation(representation_name(rep));
 
+  const std::uint64_t miss_t0 =
+      options_.slow_call_threshold_ns ? obs::now_ns() : 0;
+
   CallResult result;
   try {
     result =
@@ -175,14 +225,14 @@ reflect::Object CachingServiceClient::invoke(
     // 5xx without a SOAP fault envelope: the origin itself is failing.
     if (error.status() >= 500)
       if (std::optional<reflect::Object> stale =
-              serve_stale_on_error(trace, key, policy))
+              serve_stale_on_error(trace, operation, key, policy))
         return *stale;
     throw;
   } catch (const TransportError&) {
     // Retries, deadline, and breaker are all below us (RetryingTransport);
     // reaching here means the wire call failed for good.
     if (std::optional<reflect::Object> stale =
-            serve_stale_on_error(trace, key, policy))
+            serve_stale_on_error(trace, operation, key, policy))
       return *stale;
     throw;
   } catch (const ParseError&) {
@@ -190,7 +240,7 @@ reflect::Object CachingServiceClient::invoke(
     // or corrupt XML from a degrading server) — an availability failure
     // from the application's point of view, same as no answer at all.
     if (std::optional<reflect::Object> stale =
-            serve_stale_on_error(trace, key, policy))
+            serve_stale_on_error(trace, operation, key, policy))
       return *stale;
     throw;
   }
@@ -207,17 +257,38 @@ reflect::Object CachingServiceClient::invoke(
     capture.compact_events = &result.compact_events;
     capture.object = result.object;
     capture.op = share_op(op);
-    cache_->store(key, make_cached_value(rep, capture), *ttl,
-                  result.last_modified);
+    // Store cost for the profile = representation capture + cache insert
+    // (the Table 8 store-side cost of the chosen representation).
+    const std::uint64_t store_t0 = profiles ? obs::now_ns() : 0;
+    std::shared_ptr<const CachedValue> value = make_cached_value(rep, capture);
+    const std::uint64_t entry_bytes =
+        profiles ? key.memory_size() + value->memory_size() : 0;
+    cache_->store(key, std::move(value), *ttl, result.last_modified);
+    if (profiles) [[unlikely]]
+      profiles->record_miss(description_->name(), operation,
+                            representation_name(rep), result.deserialize_ns,
+                            obs::now_ns() - store_t0, entry_bytes);
   } else {
     util::log(util::LogLevel::Debug, "server directives suppressed caching of ",
               operation);
+    if (profiles) [[unlikely]]
+      profiles->record_miss(description_->name(), operation,
+                            representation_name(rep), result.deserialize_ns,
+                            /*store_ns=*/0, /*bytes=*/0);
+  }
+  if (options_.slow_call_threshold_ns) [[unlikely]] {
+    const std::uint64_t elapsed = obs::now_ns() - miss_t0;
+    if (elapsed > options_.slow_call_threshold_ns)
+      obs::event_log().emit(obs::EventKind::SlowCall,
+                            description_->name() + "." + operation,
+                            "miss path exceeded slow-call threshold", elapsed);
   }
   return result.object;
 }
 
 std::optional<reflect::Object> CachingServiceClient::serve_stale_on_error(
-    obs::CallTrace& trace, const CacheKey& key, const OperationPolicy& policy) {
+    obs::CallTrace& trace, const std::string& operation, const CacheKey& key,
+    const OperationPolicy& policy) {
   if (policy.staleness.stale_if_error.count() <= 0) return std::nullopt;
   // Re-read at failure time, not from the pre-call lookup: the entry may
   // have been refreshed by a concurrent caller (serve that), and the
@@ -227,6 +298,13 @@ std::optional<reflect::Object> CachingServiceClient::serve_stale_on_error(
   if (!entry.fresh && entry.staleness > policy.staleness.stale_if_error)
     return std::nullopt;  // too stale even for degraded mode
   cache_->counters().on_stale_serve();
+  if (obs::CostProfiles* profiles = options_.profiles.get())
+    profiles->record_stale(description_->name(), operation,
+                           representation_name(entry.value->representation()));
+  obs::event_log().emit(obs::EventKind::StaleServe,
+                        description_->name() + "." + operation,
+                        "origin failing; served stale entry within grace",
+                        static_cast<std::uint64_t>(entry.staleness.count()));
   util::log(util::LogLevel::Debug,
             "origin unavailable: serving stale cache entry within "
             "stale_if_error grace");
@@ -294,8 +372,13 @@ CachingServiceClient::CallResult CachingServiceClient::remote_call(
       xml::SaxParser{}.parse(out.response_xml, reader);
     }
   }
-  obs::StageTimer timer(trace, obs::Stage::Deserialize);
-  out.object = reader.take();  // throws SoapFault if the body was a fault
+  {
+    obs::StageTimer timer(trace, obs::Stage::Deserialize);
+    const bool profiling = static_cast<bool>(options_.profiles);
+    const std::uint64_t t0 = profiling ? obs::now_ns() : 0;
+    out.object = reader.take();  // throws SoapFault if the body was a fault
+    if (profiling) out.deserialize_ns = obs::now_ns() - t0;
+  }
   return out;
 }
 

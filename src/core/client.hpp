@@ -25,6 +25,7 @@
 #include "core/cached_value.hpp"
 #include "core/policy.hpp"
 #include "core/response_cache.hpp"
+#include "obs/profiles.hpp"
 #include "obs/trace.hpp"
 #include "soap/message.hpp"
 #include "transport/transport.hpp"
@@ -49,6 +50,17 @@ class CachingServiceClient {
     KeyMethod key_method = KeyMethod::ToString;
     CachePolicy policy;
     bool caching_enabled = true;
+    /// Live cost-model feed (null = off).  Hits are sampled: every
+    /// `profile_sample_every`-th hit per thread records one latency
+    /// sample weighted by the period, so the common hit pays only a
+    /// thread-local tick; misses always record (the wire dwarfs it).
+    std::shared_ptr<obs::CostProfiles> profiles;
+    std::uint32_t profile_sample_every = 64;
+    /// Miss-path calls slower than this emit a SlowCall event to
+    /// obs::event_log(); 0 disables.  Hit-path latency is never checked
+    /// here (a hit cannot be wire-slow, and the check would cost two
+    /// clock reads per hit).
+    std::uint64_t slow_call_threshold_ns = 0;
   };
 
   /// `description` is shared because cache entries (XML / SAX
@@ -99,6 +111,7 @@ class CachingServiceClient {
     http::CacheDirectives directives;
     bool not_modified = false;  // 304 answer to a conditional request
     std::optional<std::chrono::seconds> last_modified;
+    std::uint64_t deserialize_ns = 0;  // measured when profiling
   };
 
   static RecordMode record_mode_for(Representation rep) {
@@ -117,7 +130,7 @@ class CachingServiceClient {
   /// covers it.  Returns nullopt when the policy (or the cache) cannot
   /// absorb the failure — the caller rethrows.
   std::optional<reflect::Object> serve_stale_on_error(
-      obs::CallTrace& trace, const CacheKey& key,
+      obs::CallTrace& trace, const std::string& operation, const CacheKey& key,
       const OperationPolicy& policy);
 
   soap::RpcRequest build_request(const std::string& operation,

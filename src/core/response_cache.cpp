@@ -4,7 +4,15 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/events.hpp"
+
 namespace wsc::cache {
+
+namespace {
+/// One store() evicting at least this many live entries is an eviction
+/// burst — worth a structured event, not just a counter tick.
+constexpr std::size_t kEvictionBurstThreshold = 8;
+}  // namespace
 
 std::size_t default_shard_count() noexcept {
   unsigned hw = std::thread::hardware_concurrency();
@@ -30,6 +38,7 @@ template <typename KeyLike>
 std::shared_ptr<const CachedValue> ResponseCache::lookup_impl(
     const KeyLike& key) {
   Shard& shard = shard_for_hash(CacheKey::Hasher{}(key));
+  maybe_track_hot_key(shard, key);
   const Tick now = tick(clock_->now());
   {
     // Fast path: shared lock only.  A hit reads the map, checks the atomic
@@ -91,47 +100,59 @@ void ResponseCache::store(const CacheKey& key,
   std::size_t bytes = key.memory_size() + value->memory_size();
   Shard& shard = shard_for_hash(key.hash());
   const util::TimePoint now = clock_->now();
-  std::unique_lock lock(shard.mu);
-  // One hash lookup for both the insert and the replace case: replacing an
-  // entry updates it in place (and reuses its ring slot) instead of the
-  // old erase-then-reinsert, which hashed the key twice.
-  auto [it, inserted] = shard.map.try_emplace(key);
-  Entry& entry = it->second;
-  if (inserted) {
-    entry.key = &it->first;
-    // Splice just behind the hand: the sweep reaches the newcomer last
-    // (second-chance FIFO).  New entries enter with the mark CLEAR: CLOCK
-    // earns its second chance from a hit, not from mere admission
-    // (otherwise one sweep pass can never distinguish a hot entry from a
-    // cold newcomer).
-    if (shard.hand == nullptr) {
-      entry.ring_prev = entry.ring_next = &entry;
-      shard.hand = &entry;
+  std::size_t evicted = 0;
+  {
+    std::unique_lock lock(shard.mu);
+    // One hash lookup for both the insert and the replace case: replacing an
+    // entry updates it in place (and reuses its ring slot) instead of the
+    // old erase-then-reinsert, which hashed the key twice.
+    auto [it, inserted] = shard.map.try_emplace(key);
+    Entry& entry = it->second;
+    if (inserted) {
+      entry.key = &it->first;
+      // Splice just behind the hand: the sweep reaches the newcomer last
+      // (second-chance FIFO).  New entries enter with the mark CLEAR: CLOCK
+      // earns its second chance from a hit, not from mere admission
+      // (otherwise one sweep pass can never distinguish a hot entry from a
+      // cold newcomer).
+      if (shard.hand == nullptr) {
+        entry.ring_prev = entry.ring_next = &entry;
+        shard.hand = &entry;
+      } else {
+        Entry* hand = shard.hand;
+        entry.ring_prev = hand->ring_prev;
+        entry.ring_next = hand;
+        hand->ring_prev->ring_next = &entry;
+        hand->ring_prev = &entry;
+      }
     } else {
-      Entry* hand = shard.hand;
-      entry.ring_prev = hand->ring_prev;
-      entry.ring_next = hand;
-      hand->ring_prev->ring_next = &entry;
-      hand->ring_prev = &entry;
+      shard.bytes -= entry.bytes;
+      // A replace is a use: spare the entry on the next sweep.
+      entry.mark.store(true, std::memory_order_relaxed);
     }
-  } else {
-    shard.bytes -= entry.bytes;
-    // A replace is a use: spare the entry on the next sweep.
-    entry.mark.store(true, std::memory_order_relaxed);
+    entry.value = std::move(value);
+    entry.expiry.store(tick(now + ttl), std::memory_order_release);
+    entry.last_modified = last_modified;
+    entry.bytes = bytes;
+    shard.bytes += bytes;
+    stats_.on_store();
+    evicted = evict_for_budget_locked(shard, now);
   }
-  entry.value = std::move(value);
-  entry.expiry.store(tick(now + ttl), std::memory_order_release);
-  entry.last_modified = last_modified;
-  entry.bytes = bytes;
-  shard.bytes += bytes;
-  stats_.on_store();
-  evict_for_budget_locked(shard, now);
+  // Emit outside the shard lock: the event log has its own mutex and the
+  // detail string formatting should not extend the exclusive section.
+  if (evicted >= kEvictionBurstThreshold) {
+    obs::event_log().emit(
+        obs::EventKind::EvictionBurst, "cache",
+        "one store evicted " + std::to_string(evicted) + " live entries",
+        evicted);
+  }
 }
 
 template <typename KeyLike>
 ResponseCache::StaleLookup ResponseCache::lookup_for_revalidation_impl(
     const KeyLike& key) {
   Shard& shard = shard_for_hash(CacheKey::Hasher{}(key));
+  maybe_track_hot_key(shard, key);
   // Shared lock throughout: the fresh path only marks + counts, and the
   // stale path deliberately leaves the entry alone (its outcome — refresh
   // vs re-store vs drop — is the caller's).
@@ -265,9 +286,10 @@ void ResponseCache::erase_locked(Shard& shard, Map::iterator it) {
   shard.map.erase(it);
 }
 
-void ResponseCache::evict_for_budget_locked(Shard& shard,
-                                            util::TimePoint now_tp) {
+std::size_t ResponseCache::evict_for_budget_locked(Shard& shard,
+                                                   util::TimePoint now_tp) {
   const Tick now = tick(now_tp);
+  std::size_t evicted = 0;
   while (shard.map.size() > per_shard_entries_ ||
          (shard.bytes > per_shard_bytes_ && shard.map.size() > 1)) {
     // CLOCK sweep: advance the hand until it finds an entry without a
@@ -289,7 +311,45 @@ void ResponseCache::evict_for_budget_locked(Shard& shard,
     }
     erase_locked(shard, shard.map.find(*victim->key));
     stats_.on_eviction();
+    ++evicted;
   }
+  return evicted;
+}
+
+void ResponseCache::enable_hot_key_tracking(HotKeyOptions options) {
+  if (hot_enabled_.load(std::memory_order_acquire)) return;
+  if (options.sample_every == 0) options.sample_every = 1;
+  hot_options_ = options;
+  for (auto& shard : shards_) {
+    std::unique_lock lock(shard->mu);
+    if (!shard->hot)
+      shard->hot = std::make_unique<HotShard>(hot_options_.capacity);
+  }
+  // Release AFTER the sketches exist: a lookup that sees the flag can
+  // dereference shard.hot unconditionally.
+  hot_enabled_.store(true, std::memory_order_release);
+}
+
+void ResponseCache::offer_hot_key(Shard& shard, std::string_view material) {
+  // Per-thread sampling: only every sample_every-th lookup pays the sketch
+  // mutex + scan; the offer weight keeps estimates unbiased.
+  thread_local std::uint32_t tick = 0;
+  if (++tick < hot_options_.sample_every) return;
+  tick = 0;
+  std::lock_guard lock(shard.hot->mu);
+  shard.hot->sketch.offer(material, hot_options_.sample_every);
+}
+
+std::vector<obs::TopKSketch::HotKey> ResponseCache::hot_keys(
+    std::size_t limit) const {
+  if (!hot_enabled_.load(std::memory_order_acquire)) return {};
+  std::vector<std::vector<obs::TopKSketch::HotKey>> parts;
+  parts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->hot->mu);
+    parts.push_back(shard->hot->sketch.entries());
+  }
+  return obs::merge_topk(std::move(parts), limit);
 }
 
 }  // namespace wsc::cache

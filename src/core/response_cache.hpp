@@ -29,8 +29,10 @@
 // (Config::shards); entry/byte budgets are split evenly across shards.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
 #include <unordered_map>
@@ -39,6 +41,7 @@
 #include "core/cache_key.hpp"
 #include "core/cached_value.hpp"
 #include "core/stats.hpp"
+#include "obs/topk.hpp"
 #include "util/clock.hpp"
 
 namespace wsc::cache {
@@ -144,6 +147,28 @@ class ResponseCache {
   StatsSnapshot stats() const;
   CacheStats& counters() noexcept { return stats_; }
 
+  /// Hot-key tracking: a per-shard space-saving top-K sketch fed from the
+  /// lookup path (hits AND misses — "hot" means most-requested).  Off by
+  /// default; when off the only lookup-path cost is one relaxed load.
+  /// When on, every `sample_every`-th lookup per thread offers its key
+  /// material to the owning shard's sketch with the sampling period as
+  /// the weight, so count estimates stay unbiased.
+  struct HotKeyOptions {
+    std::size_t capacity = 64;     // tracked keys per shard
+    std::uint32_t sample_every = 64;
+  };
+  /// Idempotent; options are fixed by the first call.  Never disabled —
+  /// sketches live for the cache's lifetime once allocated, so the
+  /// sampled path can read them without lifetime checks.
+  void enable_hot_key_tracking(HotKeyOptions options);
+  void enable_hot_key_tracking() { enable_hot_key_tracking(HotKeyOptions{}); }
+  bool hot_key_tracking_enabled() const noexcept {
+    return hot_enabled_.load(std::memory_order_acquire);
+  }
+  /// Per-shard sketches merged (shards see disjoint key streams, so the
+  /// merge is exact concatenation), sorted by count, truncated to `limit`.
+  std::vector<obs::TopKSketch::HotKey> hot_keys(std::size_t limit = 16) const;
+
  private:
   /// Expiry is an atomic tick (nanoseconds on the util::Clock timeline) so
   /// the hit path's freshness check is a lock-free load and refresh() can
@@ -176,11 +201,20 @@ class ResponseCache {
   using Map = std::unordered_map<CacheKey, Entry, CacheKey::Hasher,
                                  CacheKey::Eq>;
 
+  /// Per-shard hot-key sketch behind its own small mutex, separate from
+  /// the shard's shared_mutex so a sampled offer never holds up readers.
+  struct HotShard {
+    std::mutex mu;
+    obs::TopKSketch sketch;
+    explicit HotShard(std::size_t capacity) : sketch(capacity) {}
+  };
+
   struct Shard {
     mutable std::shared_mutex mu;
     Map map;
     Entry* hand = nullptr;  // next ring node the sweep examines
     std::size_t bytes = 0;
+    std::unique_ptr<HotShard> hot;  // set once by enable_hot_key_tracking
   };
 
   Shard& shard_for_hash(std::uint64_t hash) {
@@ -198,8 +232,26 @@ class ResponseCache {
   template <typename KeyLike>
   StaleLookup lookup_for_revalidation_impl(const KeyLike& key);
 
+  /// Sampled hot-key offer; the caller has already checked hot_enabled_.
+  void offer_hot_key(Shard& shard, std::string_view material);
+  /// One relaxed flag load when tracking is off — the entire disabled
+  /// cost added to the PR 5 hit path.
+  template <typename KeyLike>
+  void maybe_track_hot_key(Shard& shard, const KeyLike& key) {
+    if (hot_enabled_.load(std::memory_order_acquire)) [[unlikely]]
+      offer_hot_key(shard, key_material(key));
+  }
+  static std::string_view key_material(const CacheKey& key) noexcept {
+    return key.material();
+  }
+  static std::string_view key_material(const CacheKeyRef& key) noexcept {
+    return key.material;
+  }
+
   void erase_locked(Shard& shard, Map::iterator it);
-  void evict_for_budget_locked(Shard& shard, util::TimePoint now);
+  /// Returns the number of budget evictions this call performed (expired
+  /// reclaims excluded), so store() can flag eviction bursts.
+  std::size_t evict_for_budget_locked(Shard& shard, util::TimePoint now);
 
   Config config_;
   std::size_t shard_mask_;
@@ -208,6 +260,8 @@ class ResponseCache {
   const util::Clock* clock_;
   std::vector<std::unique_ptr<Shard>> shards_;
   CacheStats stats_;
+  std::atomic<bool> hot_enabled_{false};
+  HotKeyOptions hot_options_;  // fixed before hot_enabled_ is released
 };
 
 }  // namespace wsc::cache

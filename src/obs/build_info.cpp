@@ -1,0 +1,48 @@
+#include "obs/build_info.hpp"
+
+#include <chrono>
+
+#include "obs/events.hpp"
+
+#ifndef WSC_GIT_DESCRIBE
+#define WSC_GIT_DESCRIBE "unknown"
+#endif
+#ifndef WSC_BUILD_TYPE
+#define WSC_BUILD_TYPE "unknown"
+#endif
+
+namespace wsc::obs {
+
+namespace {
+
+/// Captured once when this translation unit initializes — close enough to
+/// process start for rate math, and immune to later clock adjustments.
+const double kProcessStartSeconds =
+    std::chrono::duration<double>(
+        std::chrono::system_clock::now().time_since_epoch())
+        .count();
+
+}  // namespace
+
+void register_process_metrics(MetricsRegistry& registry) {
+  registry.gauge_fn("process_start_time_seconds",
+                    "Unix time the process started, in seconds.", {},
+                    [] { return kProcessStartSeconds; });
+  registry.gauge_fn("wsc_build_info",
+                    "Build metadata; the value is always 1.",
+                    {{"git", WSC_GIT_DESCRIBE},
+                     {"compiler", __VERSION__},
+                     {"build", WSC_BUILD_TYPE}},
+                    [] { return 1.0; });
+}
+
+void register_event_metrics(MetricsRegistry& registry, const EventLog& log) {
+  for (std::size_t i = 0; i < kEventKindCount; ++i) {
+    const EventKind kind = static_cast<EventKind>(i);
+    registry.counter_fn("wsc_events_total", "Structured events by kind.",
+                        {{"kind", std::string(event_kind_name(kind))}},
+                        [&log, kind] { return log.count(kind); });
+  }
+}
+
+}  // namespace wsc::obs

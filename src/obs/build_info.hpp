@@ -1,0 +1,22 @@
+// Process metadata metrics: the anchors a dashboard needs to interpret
+// windowed rates — when the process started (so lifetime counters can be
+// turned into averages) and exactly what build is running.
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace wsc::obs {
+
+class EventLog;  // events.hpp
+
+/// Register:
+///   process_start_time_seconds  gauge, unix time of process start
+///                               (captured once at static initialization);
+///   wsc_build_info              gauge fixed at 1, labels git/compiler/
+///                               build — the conventional *_info pattern.
+void register_process_metrics(MetricsRegistry& registry);
+
+/// Export per-kind event counters: wsc_events_total{kind="..."}.
+void register_event_metrics(MetricsRegistry& registry, const EventLog& log);
+
+}  // namespace wsc::obs

@@ -1,0 +1,105 @@
+#include "obs/events.hpp"
+
+#include <algorithm>
+
+#include "obs/windowed.hpp"  // now_ns declaration
+#include "util/json.hpp"
+
+namespace wsc::obs {
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::Lifecycle: return "lifecycle";
+    case EventKind::EvictionBurst: return "eviction_burst";
+    case EventKind::BreakerOpen: return "breaker_open";
+    case EventKind::BreakerProbe: return "breaker_probe";
+    case EventKind::StaleServe: return "stale_serve";
+    case EventKind::SlowCall: return "slow_call";
+    case EventKind::DeadlineHit: return "deadline_hit";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1), ring_(capacity_) {}
+
+void EventLog::emit(EventKind kind, std::string_view scope,
+                    std::string_view detail, std::uint64_t value) {
+  emit(kind, scope, detail, value, now_ns());
+}
+
+void EventLog::emit(EventKind kind, std::string_view scope,
+                    std::string_view detail, std::uint64_t value,
+                    std::uint64_t now) {
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  by_kind_[static_cast<std::size_t>(kind)].fetch_add(
+      1, std::memory_order_relaxed);
+  std::lock_guard lock(mu_);
+  Event& slot = ring_[(next_seq_ - 1) % capacity_];
+  slot.seq = next_seq_++;
+  slot.ts_ns = now;
+  slot.kind = kind;
+  slot.scope.assign(scope);    // assign() reuses the slot's capacity
+  slot.detail.assign(detail);
+  slot.value = value;
+}
+
+std::vector<Event> EventLog::snapshot(std::uint64_t min_seq) const {
+  std::vector<Event> out;
+  std::lock_guard lock(mu_);
+  out.reserve(std::min<std::uint64_t>(capacity_, next_seq_ - 1));
+  // Oldest live slot first: sequences are dense, so walk the ring in seq
+  // order starting at next_seq_ - capacity_.
+  const std::uint64_t last = next_seq_ - 1;
+  const std::uint64_t first =
+      last > capacity_ ? last - capacity_ + 1 : 1;
+  for (std::uint64_t seq = std::max(first, min_seq + 1); seq <= last; ++seq) {
+    const Event& e = ring_[(seq - 1) % capacity_];
+    if (e.seq == seq) out.push_back(e);
+  }
+  return out;
+}
+
+std::uint64_t EventLog::dropped() const {
+  const std::uint64_t total = emitted_.load(std::memory_order_relaxed);
+  return total > capacity_ ? total - capacity_ : 0;
+}
+
+void EventLog::clear() {
+  std::lock_guard lock(mu_);
+  for (Event& e : ring_) e = Event{};
+  next_seq_ = 1;
+  emitted_.store(0, std::memory_order_relaxed);
+  for (auto& c : by_kind_) c.store(0, std::memory_order_relaxed);
+}
+
+std::string EventLog::json(std::size_t limit) const {
+  std::vector<Event> events = snapshot();
+  if (limit && events.size() > limit)
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(limit));
+  const std::uint64_t now = now_ns();
+  std::string out = "{\n  \"dropped\": " + std::to_string(dropped()) +
+                    ",\n  \"events\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    const std::uint64_t age_ms =
+        now > e.ts_ns ? (now - e.ts_ns) / 1'000'000ull : 0;
+    out += i ? ",\n    " : "\n    ";
+    out += "{\"seq\": " + std::to_string(e.seq) + ", \"kind\": \"" +
+           std::string(event_kind_name(e.kind)) + "\", \"scope\": \"" +
+           util::json::escape(e.scope) + "\", \"detail\": \"" +
+           util::json::escape(e.detail) +
+           "\", \"value\": " + std::to_string(e.value) +
+           ", \"age_ms\": " + std::to_string(age_ms) + "}";
+  }
+  out += events.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+EventLog& event_log() {
+  static EventLog* instance = new EventLog(512);  // leaked: outlives statics
+  return *instance;
+}
+
+}  // namespace wsc::obs

@@ -1,0 +1,92 @@
+// Structured event log: a fixed-size ring of notable, LOW-FREQUENCY
+// telemetry events (eviction bursts, circuit-breaker transitions, stale
+// serves in degraded mode, calls over a latency threshold), exported as
+// JSON on the portal's /events endpoint.
+//
+// This is the "what just changed" complement to the counters: a counter
+// says 14 breaker opens happened since boot; the event log says one
+// happened 3 seconds ago, against which endpoint, and how bad it was.
+//
+// Lock-friendliness: emit() takes one uncontended mutex and writes into a
+// preallocated slot whose strings keep their capacity across reuse — no
+// allocation in steady state and no unbounded growth.  Events are rare by
+// contract (no per-request emits), so a single mutex is not a hit-path
+// concern; the hit path never emits.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsc::obs {
+
+enum class EventKind : std::uint8_t {
+  Lifecycle,      // component started / reconfigured
+  EvictionBurst,  // one store evicted >= threshold entries
+  BreakerOpen,    // circuit breaker tripped open
+  BreakerProbe,   // half-open trial call
+  StaleServe,     // wire failed; expired entry served within grace
+  SlowCall,       // miss-path call exceeded the configured threshold
+  DeadlineHit,    // per-call deadline exceeded
+};
+inline constexpr std::size_t kEventKindCount = 7;
+std::string_view event_kind_name(EventKind kind);
+
+struct Event {
+  std::uint64_t seq = 0;    // monotonically increasing, 1-based
+  std::uint64_t ts_ns = 0;  // obs::now_ns() timeline
+  EventKind kind = EventKind::Lifecycle;
+  std::string scope;   // where: "cache", "transport", "Service.operation"
+  std::string detail;  // human-readable one-liner
+  std::uint64_t value = 0;  // kind-specific magnitude (ns, entries, ...)
+};
+
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 256);
+
+  void emit(EventKind kind, std::string_view scope, std::string_view detail,
+            std::uint64_t value = 0);
+  void emit(EventKind kind, std::string_view scope, std::string_view detail,
+            std::uint64_t value, std::uint64_t now_ns);
+
+  /// Events still in the ring with seq > min_seq, oldest first.
+  std::vector<Event> snapshot(std::uint64_t min_seq = 0) const;
+
+  std::uint64_t total_emitted() const {
+    return emitted_.load(std::memory_order_relaxed);
+  }
+  /// Events overwritten before ever being snapshotted by capacity math:
+  /// total_emitted() - min(total_emitted(), capacity) still in the ring.
+  std::uint64_t dropped() const;
+  std::uint64_t count(EventKind kind) const {
+    return by_kind_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Drop all buffered events and reset sequence numbers (tests).
+  void clear();
+
+  /// {"dropped": N, "events": [...]} — newest `limit` events, oldest
+  /// first, each with its age relative to now (milliseconds).
+  std::string json(std::size_t limit = 64) const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;      // capacity_ preallocated slots
+  std::uint64_t next_seq_ = 1;   // guarded by mu_
+  std::atomic<std::uint64_t> emitted_{0};
+  std::array<std::atomic<std::uint64_t>, kEventKindCount> by_kind_{};
+};
+
+/// Process-wide event log, shared by the cache, the transport bindings,
+/// and the client middleware (mirrors obs::tracer()).
+EventLog& event_log();
+
+}  // namespace wsc::obs

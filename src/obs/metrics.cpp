@@ -123,6 +123,23 @@ bool valid_metric_name(std::string_view name) {
   return true;
 }
 
+MetricsRegistry::MetricsRegistry(WindowOptions window)
+    : window_(std::move(window)),
+      window_suffix_("_last" + window_.span_label()),
+      window_label_(window_.span_label()) {}
+
+std::string MetricsRegistry::windowed_name(
+    const std::string& family_name) const {
+  constexpr std::string_view kTotal = "_total";
+  if (family_name.size() > kTotal.size() &&
+      family_name.compare(family_name.size() - kTotal.size(), kTotal.size(),
+                          kTotal) == 0) {
+    return family_name.substr(0, family_name.size() - kTotal.size()) +
+           window_suffix_;
+  }
+  return family_name + window_suffix_;
+}
+
 MetricsRegistry::Family& MetricsRegistry::family_locked(
     const std::string& name, const std::string& help, Kind kind) {
   check_name(name);
@@ -150,7 +167,8 @@ Counter& MetricsRegistry::counter(const std::string& name,
   for (auto& owned : family.counters) {
     if (owned.labels == labels) return *owned.counter;
   }
-  family.counters.push_back({std::move(labels), std::make_unique<Counter>()});
+  family.counters.push_back(
+      {std::move(labels), std::make_unique<Counter>(window_)});
   return *family.counters.back().counter;
 }
 
@@ -164,7 +182,7 @@ Summary& MetricsRegistry::summary(const std::string& name,
     if (owned.labels == labels) return *owned.summary;
   }
   family.summaries.push_back(
-      {std::move(labels), std::make_unique<Summary>(sub_bucket_bits)});
+      {std::move(labels), std::make_unique<Summary>(sub_bucket_bits, window_)});
   return *family.summaries.back().summary;
 }
 
@@ -201,7 +219,7 @@ void MetricsRegistry::collector(std::function<void(std::vector<Sample>&)> fn) {
 }
 
 const std::vector<double>& MetricsRegistry::summary_quantiles() {
-  static const std::vector<double> quantiles = {0.5, 0.9, 0.99};
+  static const std::vector<double> quantiles = {0.5, 0.9, 0.99, 0.999};
   return quantiles;
 }
 
@@ -215,12 +233,23 @@ std::vector<MetricsRegistry::Export> MetricsRegistry::gather() const {
     return nullptr;
   };
 
+  // One consistent `now` for every windowed view in this scrape.
+  const std::uint64_t now = window_.now ? window_.now() : now_ns();
+
   for (const auto& family : families_) {
     Export e;
     e.meta = {family->name, family->help, family->kind};
+    // The windowed twin family, filled alongside the lifetime samples for
+    // owned instruments (callback/collector samples have no history).
+    Export w;
+    const std::string wname = windowed_name(family->name);
+    w.meta = {wname, family->help + " (" + window_label_ + " window)",
+              family->kind == Kind::Counter ? Kind::Gauge : family->kind};
     for (const auto& owned : family->counters) {
       e.samples.push_back({family->name, owned.labels,
                            static_cast<double>(owned.counter->value())});
+      w.samples.push_back({wname, owned.labels,
+                           static_cast<double>(owned.counter->windowed(now))});
     }
     for (const auto& owned : family->summaries) {
       util::Histogram hist = owned.summary->snapshot();
@@ -234,11 +263,23 @@ std::vector<MetricsRegistry::Export> MetricsRegistry::gather() const {
                            static_cast<double>(hist.sum())});
       e.samples.push_back({family->name + "_count", owned.labels,
                            static_cast<double>(hist.count())});
+      util::Histogram window = owned.summary->windowed_snapshot(now);
+      for (double q : summary_quantiles()) {
+        Labels labels = owned.labels;
+        labels.emplace_back("quantile", quantile_string(q));
+        w.samples.push_back({wname, std::move(labels),
+                             static_cast<double>(window.percentile(q))});
+      }
+      w.samples.push_back({wname + "_sum", owned.labels,
+                           static_cast<double>(window.sum())});
+      w.samples.push_back({wname + "_count", owned.labels,
+                           static_cast<double>(window.count())});
     }
     for (const auto& callback : family->callbacks) {
       e.samples.push_back({family->name, callback.labels, callback.fn()});
     }
     exports.push_back(std::move(e));
+    if (!w.samples.empty()) exports.push_back(std::move(w));
   }
 
   std::vector<Sample> collected;

@@ -4,8 +4,9 @@
 // or JSON.
 //
 // Instrument kinds:
-//   * Counter     — an owned monotonic atomic (relaxed increments);
-//   * Summary     — an owned util::Histogram behind a mutex, exported as a
+//   * Counter     — an owned monotonic windowed counter (exact lifetime
+//                   total + rolling-window view, see obs/windowed.hpp);
+//   * Summary     — an owned windowed util::Histogram pair, exported as a
 //                   Prometheus summary (quantiles + _sum + _count);
 //   * counter_fn / gauge_fn — read-at-scrape callbacks, how existing
 //                   counter structs join without being rewritten;
@@ -13,11 +14,17 @@
 //                   consistent snapshot (e.g. a whole StatsSnapshot), so a
 //                   scrape never publishes torn values.
 //
+// Owned Counter/Summary families additionally export a windowed twin
+// family per scrape — "<name minus _total>_last60s" (gauge) for counters
+// and "<name>_last60s" (summary) for summaries — so dashboards get the
+// rolling last-minute view next to the lifetime totals.  Callback and
+// collector samples are read at scrape time from external state and have
+// no history to window, so they export no twin.
+//
 // Exports are deterministic: families sorted by name, samples in
 // registration/emission order — golden-file tests compare exact text.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -27,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/windowed.hpp"
 #include "util/histogram.hpp"
 
 namespace wsc::obs {
@@ -42,47 +50,19 @@ struct Sample {
   double value = 0;
 };
 
-class Counter {
- public:
-  void inc(std::uint64_t n = 1) {
-    value_.fetch_add(n, std::memory_order_relaxed);
-  }
-  std::uint64_t value() const {
-    return value_.load(std::memory_order_relaxed);
-  }
-
- private:
-  std::atomic<std::uint64_t> value_{0};
-};
-
-/// Latency-distribution instrument; thread-safe.
-class Summary {
- public:
-  explicit Summary(int sub_bucket_bits = 5) : hist_(sub_bucket_bits) {}
-
-  void record(std::uint64_t value) {
-    std::lock_guard lock(mu_);
-    hist_.record(value);
-  }
-  void record(std::chrono::nanoseconds d) {
-    record(static_cast<std::uint64_t>(d.count() < 0 ? 0 : d.count()));
-  }
-  util::Histogram snapshot() const {
-    std::lock_guard lock(mu_);
-    return hist_;
-  }
-
- private:
-  mutable std::mutex mu_;
-  util::Histogram hist_;
-};
+/// The registry's instruments are the windowed ones; the old lifetime-only
+/// API (inc/value, record/snapshot) is a strict subset of theirs.
+using Counter = WindowedCounter;
+using Summary = WindowedSummary;
 
 class MetricsRegistry {
  public:
   /// Prometheus metric kinds as exported in `# TYPE` lines.
   enum class Kind { Counter, Gauge, Summary };
 
-  MetricsRegistry() = default;
+  /// `window` configures the rolling view of owned instruments (bucket
+  /// count/width and, for tests, an injectable time source).
+  explicit MetricsRegistry(WindowOptions window = {});
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -151,7 +131,12 @@ class MetricsRegistry {
                         Kind kind);
   /// All families' samples, evaluated now; sorted by family name.
   std::vector<Export> gather() const;
+  /// "<name minus _total>" + "_last60s" (per the window span).
+  std::string windowed_name(const std::string& family_name) const;
 
+  WindowOptions window_;
+  std::string window_suffix_;  // "_last60s" for the default window
+  std::string window_label_;   // "60s"
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Family>> families_;
   std::vector<std::function<void(std::vector<Sample>&)>> collectors_;

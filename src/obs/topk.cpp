@@ -1,0 +1,49 @@
+#include "obs/topk.hpp"
+
+#include <algorithm>
+
+namespace wsc::obs {
+
+void TopKSketch::offer(std::string_view key, std::uint64_t weight) {
+  observed_ += weight;
+  HotKey* min_entry = nullptr;
+  for (HotKey& e : entries_) {
+    if (e.key == key) {
+      e.count += weight;
+      return;
+    }
+    if (!min_entry || e.count < min_entry->count) min_entry = &e;
+  }
+  if (entries_.size() < capacity_) {
+    entries_.push_back({std::string(key), weight, 0});
+    return;
+  }
+  // Space-saving replacement: the newcomer takes over the minimum entry,
+  // inheriting its count as the overestimate bound.
+  min_entry->error = min_entry->count;
+  min_entry->count += weight;
+  min_entry->key.assign(key);
+}
+
+std::vector<TopKSketch::HotKey> TopKSketch::entries() const {
+  std::vector<HotKey> out = entries_;
+  std::sort(out.begin(), out.end(), [](const HotKey& a, const HotKey& b) {
+    return a.count != b.count ? a.count > b.count : a.key < b.key;
+  });
+  return out;
+}
+
+std::vector<TopKSketch::HotKey> merge_topk(
+    std::vector<std::vector<TopKSketch::HotKey>> parts, std::size_t limit) {
+  std::vector<TopKSketch::HotKey> out;
+  for (auto& part : parts)
+    for (auto& e : part) out.push_back(std::move(e));
+  std::sort(out.begin(), out.end(),
+            [](const TopKSketch::HotKey& a, const TopKSketch::HotKey& b) {
+              return a.count != b.count ? a.count > b.count : a.key < b.key;
+            });
+  if (limit && out.size() > limit) out.resize(limit);
+  return out;
+}
+
+}  // namespace wsc::obs

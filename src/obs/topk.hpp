@@ -1,0 +1,63 @@
+// Heavy-hitter ("hot key") tracking: the space-saving variant of the
+// Misra-Gries frequent-items sketch.
+//
+// A bounded table of `capacity` (key, count, error) entries.  An offer for
+// a tracked key increments its count; an offer for an untracked key when
+// the table is full replaces the minimum-count entry, inheriting its count
+// as the new entry's worst-case overestimate (`error`).
+//
+// Guarantees (Metwally et al., "Efficient Computation of Frequent and
+// Top-k Elements in Data Streams"): for a stream of total weight W,
+//   * count - error <= true_count <= count for every tracked key, and
+//   * every key with true_count > W / capacity is present in the table.
+//
+// The sketch is NOT thread-safe; the response cache keeps one per shard
+// behind the shard's own small mutex (shards see disjoint key streams, so
+// a scrape merges per-shard tables exactly by summing).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsc::obs {
+
+class TopKSketch {
+ public:
+  struct HotKey {
+    std::string key;
+    std::uint64_t count = 0;  // estimate (upper bound on the true count)
+    std::uint64_t error = 0;  // worst-case overestimate inherited on entry
+  };
+
+  explicit TopKSketch(std::size_t capacity = 64)
+      : capacity_(capacity ? capacity : 1) {
+    entries_.reserve(capacity_);
+  }
+
+  /// Count one observation of `key` with the given weight (sampled feeds
+  /// pass the sampling period as the weight so estimates stay unbiased).
+  void offer(std::string_view key, std::uint64_t weight = 1);
+
+  /// Tracked entries sorted by descending count estimate.
+  std::vector<HotKey> entries() const;
+
+  /// Total stream weight observed (W in the error bound).
+  std::uint64_t observed() const noexcept { return observed_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<HotKey> entries_;  // unsorted; linear scan (capacity is small)
+  std::uint64_t observed_ = 0;
+};
+
+/// Merge per-shard tables over DISJOINT key streams (one key hashes to
+/// exactly one cache shard, so a key appears in at most one part and the
+/// merge is exact concatenation), sorted by descending count, truncated to
+/// `limit` (0 = no limit).
+std::vector<TopKSketch::HotKey> merge_topk(
+    std::vector<std::vector<TopKSketch::HotKey>> parts, std::size_t limit = 0);
+
+}  // namespace wsc::obs

@@ -1,8 +1,11 @@
 #include "portal/portal.hpp"
 
 #include "core/metrics_bridge.hpp"
+#include "obs/build_info.hpp"
+#include "obs/events.hpp"
 #include "obs/trace.hpp"
 #include "portal/query_string.hpp"
+#include "util/json.hpp"
 #include "xml/escape.hpp"
 
 namespace wsc::portal {
@@ -13,15 +16,57 @@ using services::google::GoogleSearchResult;
 PortalSite::PortalSite(PortalConfig config)
     : cache_(config.response_cache ? std::move(config.response_cache)
                                    : std::make_shared<cache::ResponseCache>()),
-      metrics_(std::move(config.metrics)) {
+      metrics_(std::move(config.metrics)),
+      profiles_(config.profiles ? std::move(config.profiles)
+                                : std::make_shared<obs::CostProfiles>()) {
   if (!metrics_) {
     metrics_ = std::make_shared<obs::MetricsRegistry>();
     cache::register_cache_metrics(*metrics_, *cache_);
     obs::register_tracer_metrics(*metrics_, obs::tracer());
+    obs::register_process_metrics(*metrics_);
+    obs::register_event_metrics(*metrics_, obs::event_log());
   }
+  // The portal is the observability showcase: feed the cost-profile
+  // registry from every call (no sampling), track hot keys on every
+  // lookup, and flag slow miss-path calls — unless the caller configured
+  // these knobs explicitly.
+  if (!config.options.profiles) {
+    config.options.profiles = profiles_;
+    config.options.profile_sample_every = 1;
+  }
+  if (config.options.slow_call_threshold_ns == 0)
+    config.options.slow_call_threshold_ns = 50'000'000;  // 50 ms
+  cache_->enable_hot_key_tracking({/*capacity=*/64, /*sample_every=*/1});
+  request_latency_ = &metrics_->summary(
+      "wsc_portal_request_ns", "Portal page render latency (ns), end to end.");
   google_ = std::make_unique<GoogleClient>(std::move(config.transport),
                                            std::move(config.backend_endpoint),
                                            cache_, std::move(config.options));
+  obs::event_log().emit(obs::EventKind::Lifecycle, "portal",
+                        "portal telemetry online");
+}
+
+std::string PortalSite::profiles_json() const {
+  // One composed document: the cost-model rows, the hottest keys, and the
+  // cache footprint they add up to — everything the adaptive-selection
+  // policy (and cachetop) needs in one scrape.
+  std::string out = "{\"window\": \"";
+  out += profiles_->window_label();
+  out += "\", \"rows\": ";
+  out += profiles_->json_rows();
+  out += ", \"hot_keys\": [";
+  bool first = true;
+  for (const obs::TopKSketch::HotKey& hot : cache_->hot_keys(16)) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"key\": \"" + util::json::escape(hot.key) +
+           "\", \"count\": " + std::to_string(hot.count) +
+           ", \"error\": " + std::to_string(hot.error) + "}";
+  }
+  const cache::ResponseCache::Footprint footprint = cache_->footprint();
+  out += "], \"cache\": {\"entries\": " + std::to_string(footprint.entries) +
+         ", \"bytes\": " + std::to_string(footprint.bytes) + "}}";
+  return out;
 }
 
 std::string PortalSite::render_page(const std::string& query) {
@@ -62,6 +107,16 @@ http::Handler PortalSite::handler() {
       response.body = metrics_->prometheus_text();
       return response;
     }
+    if (target.path == "/profiles") {
+      response.headers.set("Content-Type", "application/json");
+      response.body = profiles_json();
+      return response;
+    }
+    if (target.path == "/events") {
+      response.headers.set("Content-Type", "application/json");
+      response.body = obs::event_log().json();
+      return response;
+    }
     if (target.path != "/portal") {
       response.status = 404;
       response.body = "not found";
@@ -74,7 +129,9 @@ http::Handler PortalSite::handler() {
       return response;
     }
     response.headers.set("Content-Type", "text/html; charset=utf-8");
+    const std::uint64_t t0 = obs::now_ns();
     response.body = render_page(q->second);
+    request_latency_->record(obs::now_ns() - t0);
     return response;
   };
 }

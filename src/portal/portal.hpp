@@ -15,6 +15,7 @@
 #include "core/client.hpp"
 #include "http/server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiles.hpp"
 #include "services/google/stub.hpp"
 
 namespace wsc::portal {
@@ -28,8 +29,13 @@ struct PortalConfig {
   /// Shared response cache; created internally when null.
   std::shared_ptr<cache::ResponseCache> response_cache;
   /// Metrics registry behind the /metrics admin endpoint; created
-  /// internally (pre-wired with the cache and tracer) when null.
+  /// internally (pre-wired with the cache, tracer, process/build info and
+  /// event counters) when null.
   std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Cost-profile registry behind /profiles; created internally when null
+  /// and injected into the middleware options (sampling every call — the
+  /// portal is the observability showcase, not the overhead benchmark).
+  std::shared_ptr<obs::CostProfiles> profiles;
 };
 
 class PortalSite {
@@ -44,15 +50,23 @@ class PortalSite {
   ///   GET /portal?q=...  -> text/html results page
   ///   GET /stats         -> application/json StatsSnapshot counters
   ///   GET /metrics       -> Prometheus text exposition (version 0.0.4)
+  ///   GET /profiles      -> application/json per-representation cost rows
+  ///                         + merged hot keys + cache footprint
+  ///   GET /events        -> application/json recent structured events
   http::Handler handler();
 
   cache::ResponseCache& response_cache() noexcept { return *cache_; }
   services::google::GoogleClient& google() noexcept { return *google_; }
   obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
+  obs::CostProfiles& profiles() noexcept { return *profiles_; }
 
  private:
+  std::string profiles_json() const;
+
   std::shared_ptr<cache::ResponseCache> cache_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::shared_ptr<obs::CostProfiles> profiles_;
+  obs::Summary* request_latency_ = nullptr;  // owned by *metrics_
   std::unique_ptr<services::google::GoogleClient> google_;
 };
 

@@ -1,0 +1,56 @@
+// Minimal JSON: an escape helper for the hand-built JSON the admin
+// endpoints emit, and a small DOM parser for the consumers of those
+// endpoints (the cachetop CLI, endpoint tests) — enough of RFC 8259 for
+// machine-generated documents, not a general-purpose library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace wsc::util::json {
+
+/// Escape a string for inclusion inside JSON double quotes.
+std::string escape(std::string_view s);
+
+struct Value {
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Type type = Type::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return type == Type::Null; }
+  bool is_object() const { return type == Type::Object; }
+  bool is_array() const { return type == Type::Array; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const {
+    if (type != Type::Object) return nullptr;
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  /// Convenience accessors with defaults for absent/mistyped members.
+  double number_or(std::string_view key, double fallback = 0) const {
+    const Value* v = find(key);
+    return v && v->type == Type::Number ? v->number : fallback;
+  }
+  std::string string_or(std::string_view key,
+                        std::string fallback = "") const {
+    const Value* v = find(key);
+    return v && v->type == Type::String ? v->string : std::move(fallback);
+  }
+};
+
+/// Parse one JSON document (trailing garbage rejected).  Throws
+/// wsc::ParseError on malformed input or nesting deeper than 64 levels.
+Value parse(std::string_view text);
+
+}  // namespace wsc::util::json

@@ -57,7 +57,12 @@ TEST(MetricsTest, PrometheusTextGolden) {
   registry.gauge_fn("wsc_temperature", "Current reading.", {},
                     [] { return 21.5; });
   std::string text = registry.prometheus_text();
+  // Owned counters export a windowed gauge twin ("_last60s") next to the
+  // lifetime total; callback gauges have no history and export no twin.
   EXPECT_EQ(text,
+            "# HELP wsc_requests_last60s Requests served. (60s window)\n"
+            "# TYPE wsc_requests_last60s gauge\n"
+            "wsc_requests_last60s{op=\"a\"} 3\n"
             "# HELP wsc_requests_total Requests served.\n"
             "# TYPE wsc_requests_total counter\n"
             "wsc_requests_total{op=\"a\"} 3\n"
@@ -75,8 +80,15 @@ TEST(MetricsTest, SummaryExportsQuantilesSumCount) {
   EXPECT_NE(text.find("# TYPE wsc_latency_ns summary\n"), std::string::npos);
   EXPECT_NE(text.find("wsc_latency_ns{quantile=\"0.5\"} "), std::string::npos);
   EXPECT_NE(text.find("wsc_latency_ns{quantile=\"0.99\"} "), std::string::npos);
+  EXPECT_NE(text.find("wsc_latency_ns{quantile=\"0.999\"} "),
+            std::string::npos);
   EXPECT_NE(text.find("wsc_latency_ns_sum 55\n"), std::string::npos);
   EXPECT_NE(text.find("wsc_latency_ns_count 10\n"), std::string::npos);
+  // The windowed twin summary carries the same fresh data right after
+  // recording (everything is inside the current window).
+  EXPECT_NE(text.find("# TYPE wsc_latency_ns_last60s summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("wsc_latency_ns_last60s_count 10\n"), std::string::npos);
   EXPECT_EQ(validate_prometheus_text(text), std::nullopt);
 }
 
@@ -86,6 +98,10 @@ TEST(MetricsTest, JsonTextGolden) {
       .inc(3);
   EXPECT_EQ(registry.json_text(),
             "{\n"
+            "  \"wsc_requests_last60s\": {\"type\": \"gauge\", \"samples\": [\n"
+            "    {\"name\": \"wsc_requests_last60s\", \"labels\": "
+            "{\"op\": \"a\"}, \"value\": 3}\n"
+            "  ]},\n"
             "  \"wsc_requests_total\": {\"type\": \"counter\", \"samples\": [\n"
             "    {\"name\": \"wsc_requests_total\", \"labels\": "
             "{\"op\": \"a\"}, \"value\": 3}\n"

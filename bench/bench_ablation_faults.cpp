@@ -59,7 +59,7 @@ struct Stack {
 
     response_cache = std::make_shared<cache::ResponseCache>(
         cache::ResponseCache::Config{}, clock);
-    cache::bind_transport_stats(*retrying, response_cache->counters());
+    cache::bind_transport_stats(*retrying, response_cache);
 
     cache::CachingServiceClient::Options options;
     options.policy = services::google::default_google_policy(

@@ -1,0 +1,243 @@
+// Ablation J (ISSUE 8) — the thundering herd, with and without the
+// single-flight layer.
+//
+// Experiment A (cold-miss herd): N threads request the SAME uncached key
+// at the same instant against a backend that takes a fixed latency per
+// call.  With coalescing one leader pays the wire call and N-1 followers
+// wait on its flight; without it every thread pays its own call.  The
+// metric that matters is backend calls — the acceptance criterion is ONE
+// backend call for the full herd.
+//
+// Experiment B (TTL-expiry storm): a warm hot key expires under sustained
+// concurrent traffic.  Without stale-while-revalidate the first wave
+// blocks on the refetch (coalescing bounds the backend cost but callers
+// still stall); with SWR the stale value is served immediately and ONE
+// background refresh renews the entry — no caller ever blocks.
+//
+// This bench uses real threads and a real (small) backend latency, so it
+// measures the actual blocking behaviour rather than a simulation of it.
+// Run with --smoke for the CI-sized version (64-thread herd).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/client.hpp"
+#include "services/google/service.hpp"
+#include "services/google/stub.hpp"
+#include "transport/inproc_transport.hpp"
+#include "util/clock.hpp"
+#include "util/error.hpp"
+
+using namespace wsc;
+using services::google::GoogleBackend;
+using std::chrono::duration_cast;
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+namespace {
+
+constexpr const char* kEndpoint = "inproc://google/api";
+
+/// Counts wire calls reaching the (latency-simulating) origin.
+class CountingTransport final : public transport::Transport {
+ public:
+  explicit CountingTransport(std::shared_ptr<Transport> inner)
+      : inner_(std::move(inner)) {}
+  transport::WireResponse post(const util::Uri& endpoint,
+                               const transport::WireRequest& request) override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->post(endpoint, request);
+  }
+  using Transport::post;
+  std::uint64_t calls() const {
+    return calls_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<Transport> inner_;
+  std::atomic<std::uint64_t> calls_{0};
+};
+
+struct Stack {
+  Stack(milliseconds backend_latency, milliseconds ttl, bool coalesce,
+        milliseconds swr_grace, double refresh_ahead) {
+    backend = std::make_shared<GoogleBackend>();
+    auto origin = std::make_shared<transport::InProcessTransport>();
+    origin->bind(kEndpoint, services::google::make_google_service(backend));
+    origin->set_latency(duration_cast<microseconds>(backend_latency));
+    wire = std::make_shared<CountingTransport>(origin);
+
+    response_cache = std::make_shared<cache::ResponseCache>(
+        cache::ResponseCache::Config{}, clock);
+
+    cache::CachingServiceClient::Options options;
+    options.policy = services::google::default_google_policy(
+        cache::Representation::Auto, ttl);
+    if (swr_grace.count() > 0)
+      options.policy.stale_while_revalidate("doSpellingSuggestion", swr_grace);
+    if (refresh_ahead > 0.0)
+      options.policy.refresh_ahead("doSpellingSuggestion", refresh_ahead);
+    options.coalesce_misses = coalesce;
+    client = std::make_unique<services::google::GoogleClient>(
+        wire, kEndpoint, response_cache, options);
+  }
+
+  util::SteadyClock clock;  // real time: the herd and TTL expiry are real
+  std::shared_ptr<GoogleBackend> backend;
+  std::shared_ptr<CountingTransport> wire;
+  std::shared_ptr<cache::ResponseCache> response_cache;
+  std::unique_ptr<services::google::GoogleClient> client;
+};
+
+struct HerdResult {
+  std::uint64_t backend_calls = 0;
+  int errors = 0;
+  double max_caller_ms = 0;
+  double p50_caller_ms = 0;
+  cache::StatsSnapshot stats;
+};
+
+/// Release `threads` callers of the same phrase simultaneously (arrival
+/// gate) and measure each caller's latency.
+HerdResult run_herd(Stack& stack, int threads) {
+  std::atomic<bool> go{false};
+  std::atomic<int> ready{0};
+  std::vector<double> latencies_ms(static_cast<std::size_t>(threads));
+  std::atomic<int> errors{0};
+
+  std::vector<std::thread> herd;
+  herd.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    herd.emplace_back([&, i] {
+      ready.fetch_add(1, std::memory_order_relaxed);
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      auto start = steady_clock::now();
+      try {
+        stack.client->doSpellingSuggestion("the same hot phrase");
+      } catch (const Error&) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      latencies_ms[static_cast<std::size_t>(i)] =
+          duration_cast<microseconds>(steady_clock::now() - start).count() /
+          1000.0;
+    });
+  while (ready.load(std::memory_order_relaxed) < threads)
+    std::this_thread::yield();
+  go.store(true, std::memory_order_release);
+  for (auto& t : herd) t.join();
+
+  HerdResult r;
+  r.backend_calls = stack.wire->calls();
+  r.errors = errors.load();
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  r.max_caller_ms = latencies_ms.back();
+  r.p50_caller_ms = latencies_ms[latencies_ms.size() / 2];
+  r.stats = stack.response_cache->stats();
+  return r;
+}
+
+void cold_miss_herd(bench::BenchJson& json, int threads,
+                    milliseconds backend_latency) {
+  std::printf(
+      "Ablation J-A (cold-miss herd): %d threads, one key, cold cache,\n"
+      "backend latency %lld ms per call\n",
+      threads, static_cast<long long>(backend_latency.count()));
+  std::printf("%14s %14s %8s %12s %12s %12s\n", "coalescing", "backend_calls",
+              "errors", "p50_ms", "max_ms", "coal_waits");
+
+  for (bool coalesce : {false, true}) {
+    Stack stack(backend_latency, std::chrono::hours(1), coalesce,
+                milliseconds(0), 0.0);
+    HerdResult r = run_herd(stack, threads);
+    std::printf("%14s %14llu %8d %12.2f %12.2f %12llu\n",
+                coalesce ? "single-flight" : "off",
+                static_cast<unsigned long long>(r.backend_calls), r.errors,
+                r.p50_caller_ms, r.max_caller_ms,
+                static_cast<unsigned long long>(r.stats.coalesced_waits));
+
+    std::string row =
+        std::string("herd coalesce=") + (coalesce ? "on" : "off");
+    json.add(row, "threads", threads);
+    json.add(row, "backend_calls", static_cast<double>(r.backend_calls));
+    json.add(row, "errors", r.errors);
+    json.add(row, "p50_caller_ms", r.p50_caller_ms);
+    json.add(row, "max_caller_ms", r.max_caller_ms);
+    json.add(row, "coalesced_waits",
+             static_cast<double>(r.stats.coalesced_waits));
+  }
+  std::printf(
+      "expected shape: coalesce=off pays one backend call per caller that\n"
+      "races past the lookup (hundreds for a large herd — stragglers hit\n"
+      "the stored entry); single-flight makes exactly ONE for the herd.\n\n");
+}
+
+void expiry_storm(bench::BenchJson& json, int threads,
+                  milliseconds backend_latency) {
+  std::printf(
+      "Ablation J-B (TTL-expiry storm): warm hot key, TTL 50ms, wait for\n"
+      "expiry, then a %d-thread storm; backend latency %lld ms\n",
+      threads, static_cast<long long>(backend_latency.count()));
+  std::printf("%10s %14s %12s %12s %12s %12s\n", "mode", "backend_calls",
+              "p50_ms", "max_ms", "swr_served", "blocked");
+
+  for (bool swr : {false, true}) {
+    Stack stack(backend_latency, milliseconds(50), /*coalesce=*/true,
+                swr ? milliseconds(60'000) : milliseconds(0), 0.0);
+    stack.client->doSpellingSuggestion("the same hot phrase");  // warm
+    std::this_thread::sleep_for(milliseconds(80));              // expire
+    const std::uint64_t warm_calls = stack.wire->calls();
+    HerdResult r = run_herd(stack, threads);
+    const std::uint64_t storm_calls = r.backend_calls - warm_calls;
+    // A caller "blocked" if it waited at least the backend latency — i.e.
+    // it rode the wire (or a flight pinned to it) instead of the cache.
+    // With SWR the whole storm must be served from the stale entry.
+    const double blocked_threshold_ms =
+        static_cast<double>(backend_latency.count());
+    std::printf("%10s %14llu %12.2f %12.2f %12llu %12s\n",
+                swr ? "swr" : "blocking",
+                static_cast<unsigned long long>(storm_calls), r.p50_caller_ms,
+                r.max_caller_ms,
+                static_cast<unsigned long long>(
+                    r.stats.stale_while_revalidate_served),
+                r.max_caller_ms >= blocked_threshold_ms ? "yes" : "no");
+
+    std::string row = std::string("storm mode=") + (swr ? "swr" : "blocking");
+    json.add(row, "threads", threads);
+    json.add(row, "backend_calls", static_cast<double>(storm_calls));
+    json.add(row, "p50_caller_ms", r.p50_caller_ms);
+    json.add(row, "max_caller_ms", r.max_caller_ms);
+    json.add(row, "swr_served",
+             static_cast<double>(r.stats.stale_while_revalidate_served));
+    json.add(row, "errors", r.errors);
+  }
+  std::printf(
+      "expected shape: both modes bound the refetch to ~1 backend call\n"
+      "(coalescing), but 'blocking' stalls the first wave for the backend\n"
+      "latency while 'swr' serves every caller from the stale entry\n"
+      "immediately and refreshes once in the background.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke =
+      argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  // Full mode: the ISSUE-8 acceptance herd of 1k threads.  Smoke mode
+  // keeps CI fast while exercising the identical code paths.
+  const int herd_threads = smoke ? 64 : 1000;
+  const milliseconds backend_latency(smoke ? 10 : 25);
+
+  bench::BenchJson json;
+  cold_miss_herd(json, herd_threads, backend_latency);
+  expiry_storm(json, smoke ? 32 : 200, backend_latency);
+  json.write_file("BENCH_ablation_herd.json");
+  return 0;
+}

@@ -10,24 +10,74 @@
 
 namespace wsc::cache {
 
+namespace {
+
+/// Leader-side RAII over a single-flight handle: the flight is finished
+/// exactly once no matter how the leader's frame exits.  An armed guard
+/// destroyed without an explicit outcome FAILS the flight (rather than
+/// strand followers until their timeouts) — that covers abandoned
+/// background-refresh closures and any unwinding path the typed handlers
+/// below do not catch.
+class FlightGuard {
+ public:
+  FlightGuard(ResponseCache& cache, ResponseCache::FlightHandle handle)
+      : cache_(&cache), handle_(std::move(handle)) {}
+  FlightGuard(const FlightGuard&) = delete;
+  FlightGuard& operator=(const FlightGuard&) = delete;
+  ~FlightGuard() {
+    if (!armed_) return;
+    cache_->fail_flight(handle_,
+                        std::make_exception_ptr(TransportError(
+                            "coalesced leader abandoned its call",
+                            /*retryable=*/false)));
+  }
+  void complete(std::shared_ptr<const CachedValue> value) {
+    if (armed_) cache_->complete_flight(handle_, std::move(value));
+    armed_ = false;
+  }
+  void fail(std::exception_ptr error) {
+    if (armed_) cache_->fail_flight(handle_, std::move(error));
+    armed_ = false;
+  }
+
+ private:
+  ResponseCache* cache_;
+  ResponseCache::FlightHandle handle_;
+  bool armed_ = true;
+};
+
+/// The soft TTL store()/refresh() arm for an operation: the configured
+/// fraction of the hard TTL, or zero (disabled) outside (0, 1).
+std::chrono::milliseconds soft_ttl_for(const OperationPolicy& policy) {
+  if (policy.refresh_ahead <= 0.0 || policy.refresh_ahead >= 1.0)
+    return std::chrono::milliseconds(0);
+  return std::chrono::milliseconds(static_cast<std::chrono::milliseconds::rep>(
+      static_cast<double>(policy.ttl.count()) * policy.refresh_ahead));
+}
+
+}  // namespace
+
 void bind_transport_stats(transport::RetryingTransport& transport,
-                          CacheStats& stats) {
+                          std::shared_ptr<ResponseCache> cache) {
+  if (!cache) throw Error("bind_transport_stats: null cache");
   transport::RetryingTransport::Listener listener;
-  listener.on_retry = [&stats] { stats.on_transport_retry(); };
+  // Each closure co-owns the cache: a transport that outlives the cache's
+  // other owners keeps the counters it writes to alive.
+  listener.on_retry = [cache] { cache->counters().on_transport_retry(); };
   // Breaker transitions and deadline hits are rare, load-bearing state
   // changes: counted AND logged as structured events.
-  listener.on_breaker_open = [&stats] {
-    stats.on_breaker_open();
+  listener.on_breaker_open = [cache] {
+    cache->counters().on_breaker_open();
     obs::event_log().emit(obs::EventKind::BreakerOpen, "transport",
                           "circuit breaker opened after repeated failures");
   };
-  listener.on_breaker_probe = [&stats] {
-    stats.on_breaker_probe();
+  listener.on_breaker_probe = [cache] {
+    cache->counters().on_breaker_probe();
     obs::event_log().emit(obs::EventKind::BreakerProbe, "transport",
                           "half-open probe call admitted");
   };
-  listener.on_deadline_hit = [&stats] {
-    stats.on_deadline_hit();
+  listener.on_deadline_hit = [cache] {
+    cache->counters().on_deadline_hit();
     obs::event_log().emit(obs::EventKind::DeadlineHit, "transport",
                           "per-call deadline exceeded");
   };
@@ -49,6 +99,14 @@ CachingServiceClient::CachingServiceClient(
   if (!transport_) throw Error("CachingServiceClient: null transport");
   if (!description_) throw Error("CachingServiceClient: null description");
   if (!cache_) throw Error("CachingServiceClient: null cache");
+}
+
+CachingServiceClient::~CachingServiceClient() {
+  // Explicit (though refresh_queue_ is also declared last): join the
+  // background worker before any member a pending job references dies.
+  // Never-run jobs are destroyed, which fails their flights via the
+  // FlightGuards the closures co-own.
+  refresh_queue_.stop();
 }
 
 soap::RpcRequest CachingServiceClient::build_request(
@@ -135,14 +193,18 @@ reflect::Object CachingServiceClient::invoke(
     keygen_->generate_into(request, scratch);
   }
   const bool allow_stale = policy.staleness.stale_if_error.count() > 0;
+  const bool swr_on = policy.staleness.stale_while_revalidate.count() > 0;
+  const bool refresh_ahead_on = policy.refresh_ahead > 0.0;
   // Revalidation (§3.2 HTTP hook): a stale entry with a Last-Modified may
   // be renewed by a conditional request instead of refetched.  A
   // stale-if-error grace needs the same stale-exposing lookup: the plain
   // lookup() eagerly evicts an expired entry, which would destroy the
   // degraded-mode fallback before the wire call gets a chance to fail.
+  // stale-while-revalidate needs it for the same reason, and refresh-ahead
+  // needs it because only this lookup can win the soft-TTL claim.
   std::optional<std::chrono::seconds> revalidate_since;
   bool had_stale_entry = false;
-  if (policy.revalidate || allow_stale) {
+  if (policy.revalidate || allow_stale || swr_on || refresh_ahead_on) {
     ResponseCache::StaleLookup stale = [&] {
       obs::StageTimer timer(trace, obs::Stage::Lookup);
       return cache_->lookup_for_revalidation(scratch.ref());
@@ -156,10 +218,42 @@ reflect::Object CachingServiceClient::invoke(
         return stale.value->retrieve();
       }();
       record_profile_hit(*stale.value);
+      if (stale.refresh_ahead) {
+        // This hit won the entry's one-shot soft-TTL claim: renew the
+        // entry in the background before it ever expires.  If scheduling
+        // fails (queue saturated, flights down), nothing is lost — the
+        // entry simply expires and the next miss fetches synchronously.
+        cache_->counters().on_refresh_ahead();
+        obs::event_log().emit(
+            obs::EventKind::RefreshAhead,
+            description_->name() + "." + operation,
+            "soft TTL elapsed; refreshing ahead of expiry");
+        schedule_refresh(operation, request, op, policy, scratch.to_key());
+      }
       return object;
     }
     if (stale.value) {
       had_stale_entry = true;
+      if (swr_on &&
+          stale.staleness <= policy.staleness.stale_while_revalidate) {
+        // RFC 5861 stale-while-revalidate: the entry expired within the
+        // grace, so serve it NOW and let one background refresh renew it —
+        // a TTL-expiry storm on a hot key never parks callers on the wire.
+        if (schedule_refresh(operation, request, op, policy,
+                             scratch.to_key())) {
+          cache_->counters().on_swr_serve();
+          if (profiles) [[unlikely]]
+            profiles->record_stale(
+                description_->name(), operation,
+                representation_name(stale.value->representation()));
+          trace.set_representation(
+              representation_name(stale.value->representation()));
+          trace.set_outcome(obs::Outcome::StaleRevalidate);
+          obs::StageTimer timer(trace, obs::Stage::Retrieve);
+          return stale.value->retrieve();
+        }
+        // No refresh will run: fall through to the synchronous miss path.
+      }
       if (policy.revalidate) revalidate_since = stale.last_modified;
     }
   } else {
@@ -184,21 +278,67 @@ reflect::Object CachingServiceClient::invoke(
 
   // Resolve the representation from the *static* (WSDL) result type, so the
   // miss path knows before parsing whether to tee the events.
-  Representation rep = policy.representation;
-  if (rep == Representation::Auto) {
-    rep = op.result_type
-              ? auto_select(*op.result_type, policy.read_only, policy.prefer_clone)
-              : Representation::Reference;  // void result: store the null
-  } else if (op.result_type && !applicable(rep, *op.result_type, policy.read_only)) {
-    // Table 3's Limitation column: the administrator configured a
-    // representation this operation's type cannot support.
-    throw SerializationError(
-        std::string("representation '") + std::string(representation_name(rep)) +
-        "' is not applicable to result type '" + op.result_type->name +
-        "' of operation '" + operation + "'");
+  const Representation rep = resolve_representation(policy, op, operation);
+  trace.set_representation(representation_name(rep));
+
+  // Single-flight: join (or open) this key's in-flight call.  First joiner
+  // leads and makes the wire call below; everyone else parks here.
+  ResponseCache::FlightHandle flight;
+  if (options_.coalesce_misses) flight = cache_->join_flight(key.ref());
+  if (flight && !flight.leader) {
+    ResponseCache::FlightResult led =
+        cache_->wait_flight(flight, options_.coalesce_wait);
+    switch (led.outcome) {
+      case ResponseCache::FlightWait::Value: {
+        // The leader stored a fresh entry and handed it over directly.
+        if (had_stale_entry) cache_->counters().on_miss();
+        trace.set_representation(
+            representation_name(led.value->representation()));
+        trace.set_outcome(obs::Outcome::Coalesced);
+        obs::StageTimer timer(trace, obs::Stage::Retrieve);
+        return led.value->retrieve();
+      }
+      case ResponseCache::FlightWait::Error:
+        // The ONE broadcast failure.  Each follower makes its own
+        // degraded-mode decision, exactly as if it had called and failed.
+        if (std::optional<reflect::Object> fallback =
+                serve_stale_on_error(trace, operation, key, policy))
+          return *fallback;
+        std::rethrow_exception(led.error);
+      case ResponseCache::FlightWait::Timeout:
+        // Our deadline, not the leader's: the leader may still succeed for
+        // everyone else.  Degrade if the policy allows, else time out.
+        if (std::optional<reflect::Object> fallback =
+                serve_stale_on_error(trace, operation, key, policy))
+          return *fallback;
+        throw TimeoutError("timed out waiting for the in-flight call to '" +
+                           operation + "'");
+      case ResponseCache::FlightWait::Shutdown:
+        throw Error("cache shut down while waiting for in-flight call to '" +
+                    operation + "'");
+      case ResponseCache::FlightWait::NoValue:
+        break;  // leader's answer was not storable — make our own call
+    }
+    flight = {};  // NoValue: proceed uncoalesced
   }
 
-  trace.set_representation(representation_name(rep));
+  std::optional<FlightGuard> guard;
+  if (flight && flight.leader) {
+    // Close the lookup->join window: a previous leader may have completed
+    // and stored between our miss and our winning leadership.  Probe
+    // side-effect-free so the race check never pollutes hit/miss counts.
+    ResponseCache::StaleLookup raced = cache_->lookup_allow_stale(key);
+    if (raced.fresh) {
+      cache_->complete_flight(flight, raced.value);
+      if (had_stale_entry) cache_->counters().on_miss();
+      trace.set_representation(
+          representation_name(raced.value->representation()));
+      trace.set_outcome(obs::Outcome::Coalesced);
+      obs::StageTimer timer(trace, obs::Stage::Retrieve);
+      return raced.value->retrieve();
+    }
+    guard.emplace(*cache_, std::move(flight));
+  }
 
   const std::uint64_t miss_t0 =
       options_.slow_call_threshold_ns ? obs::now_ns() : 0;
@@ -211,8 +351,9 @@ reflect::Object CachingServiceClient::invoke(
     if (result.not_modified) {
       // 304: the stale representation is still current — renew its lease
       // and serve from it (no reparse, no re-store).
-      if (cache_->refresh(key, policy.ttl)) {
+      if (cache_->refresh(key, policy.ttl, soft_ttl_for(policy))) {
         if (std::shared_ptr<const CachedValue> value = cache_->lookup(key)) {
+          if (guard) guard->complete(value);
           trace.set_outcome(obs::Outcome::Revalidated);
           obs::StageTimer timer(trace, obs::Stage::Retrieve);
           return value->retrieve();
@@ -222,6 +363,9 @@ reflect::Object CachingServiceClient::invoke(
       result = remote_call(trace, request, op, record_mode_for(rep));
     }
   } catch (const HttpError& error) {
+    // Broadcast the failure BEFORE degrading locally: followers wake with
+    // the one error and make their own stale-if-error decisions.
+    if (guard) guard->fail(std::current_exception());
     // 5xx without a SOAP fault envelope: the origin itself is failing.
     if (error.status() >= 500)
       if (std::optional<reflect::Object> stale =
@@ -231,6 +375,7 @@ reflect::Object CachingServiceClient::invoke(
   } catch (const TransportError&) {
     // Retries, deadline, and breaker are all below us (RetryingTransport);
     // reaching here means the wire call failed for good.
+    if (guard) guard->fail(std::current_exception());
     if (std::optional<reflect::Object> stale =
             serve_stale_on_error(trace, operation, key, policy))
       return *stale;
@@ -239,9 +384,14 @@ reflect::Object CachingServiceClient::invoke(
     // The origin answered, but with a document we cannot parse (truncated
     // or corrupt XML from a degrading server) — an availability failure
     // from the application's point of view, same as no answer at all.
+    if (guard) guard->fail(std::current_exception());
     if (std::optional<reflect::Object> stale =
             serve_stale_on_error(trace, operation, key, policy))
       return *stale;
+    throw;
+  } catch (...) {
+    // SoapFault and everything else: still exactly one broadcast.
+    if (guard) guard->fail(std::current_exception());
     throw;
   }
   if (had_stale_entry) cache_->counters().on_miss();  // stale + changed
@@ -263,7 +413,11 @@ reflect::Object CachingServiceClient::invoke(
     std::shared_ptr<const CachedValue> value = make_cached_value(rep, capture);
     const std::uint64_t entry_bytes =
         profiles ? key.memory_size() + value->memory_size() : 0;
-    cache_->store(key, std::move(value), *ttl, result.last_modified);
+    cache_->store(key, value, *ttl, result.last_modified,
+                  soft_ttl_for(policy));
+    // Wake followers AFTER the store, with the stored value itself: they
+    // retrieve() directly, no second lookup, no window to miss in.
+    if (guard) guard->complete(std::move(value));
     if (profiles) [[unlikely]]
       profiles->record_miss(description_->name(), operation,
                             representation_name(rep), result.deserialize_ns,
@@ -271,6 +425,8 @@ reflect::Object CachingServiceClient::invoke(
   } else {
     util::log(util::LogLevel::Debug, "server directives suppressed caching of ",
               operation);
+    // Nothing stored: followers wake with NoValue and call on their own.
+    if (guard) guard->complete(nullptr);
     if (profiles) [[unlikely]]
       profiles->record_miss(description_->name(), operation,
                             representation_name(rep), result.deserialize_ns,
@@ -284,6 +440,109 @@ reflect::Object CachingServiceClient::invoke(
                             "miss path exceeded slow-call threshold", elapsed);
   }
   return result.object;
+}
+
+Representation CachingServiceClient::resolve_representation(
+    const OperationPolicy& policy, const wsdl::OperationInfo& op,
+    const std::string& operation) const {
+  Representation rep = policy.representation;
+  if (rep == Representation::Auto) {
+    rep = op.result_type
+              ? auto_select(*op.result_type, policy.read_only,
+                            policy.prefer_clone)
+              : Representation::Reference;  // void result: store the null
+  } else if (op.result_type &&
+             !applicable(rep, *op.result_type, policy.read_only)) {
+    // Table 3's Limitation column: the administrator configured a
+    // representation this operation's type cannot support.
+    throw SerializationError(
+        std::string("representation '") +
+        std::string(representation_name(rep)) +
+        "' is not applicable to result type '" + op.result_type->name +
+        "' of operation '" + operation + "'");
+  }
+  return rep;
+}
+
+bool CachingServiceClient::schedule_refresh(const std::string& operation,
+                                            const soap::RpcRequest& request,
+                                            const wsdl::OperationInfo& op,
+                                            const OperationPolicy& policy,
+                                            const CacheKey& key) {
+  // The in-flight table deduplicates refreshes the same way it coalesces
+  // misses: only the joiner that LEADS enqueues work, so a storm of SWR
+  // hits on one key costs one background wire call.
+  ResponseCache::FlightHandle handle = cache_->join_flight(key.ref());
+  if (!handle) return false;        // flights shut down: no background work
+  if (!handle.leader) return true;  // a refresh is already in flight
+  // std::function requires a copyable closure, so the RAII guard rides in
+  // a shared_ptr; whichever copy dies last (queue slot, worker frame, or
+  // this frame) settles the flight if nothing else did.
+  auto guard = std::make_shared<FlightGuard>(*cache_, std::move(handle));
+  auto job = [this, guard, operation, request, shared = share_op(op), policy,
+              key]() {
+    try {
+      guard->complete(perform_refresh(operation, request, *shared, policy, key));
+    } catch (...) {
+      guard->fail(std::current_exception());
+    }
+  };
+  if (refresh_queue_.submit(std::move(job))) return true;
+  // Queue saturated or stopping: nobody will refresh.  Settle the flight
+  // so any followers fall back to their own synchronous calls.
+  guard->complete(nullptr);
+  return false;
+}
+
+std::shared_ptr<const CachedValue> CachingServiceClient::perform_refresh(
+    const std::string& operation, const soap::RpcRequest& request,
+    const wsdl::OperationInfo& op, const OperationPolicy& policy,
+    const CacheKey& key) {
+  // Background refreshes trace like any call (they show up in /trace and
+  // the slow-call log) but deliberately touch NO hit/miss counters: the
+  // foreground caller already accounted for this request.
+  obs::CallTrace trace(description_->name(), operation);
+  const Representation rep = resolve_representation(policy, op, operation);
+  trace.set_representation(representation_name(rep));
+  std::optional<std::chrono::seconds> since;
+  if (policy.revalidate)
+    since = cache_->lookup_allow_stale(key).last_modified;
+
+  CallResult result = remote_call(trace, request, op, record_mode_for(rep),
+                                  since);
+  if (result.not_modified) {
+    // 304: renew the lease (re-arming the soft TTL) and hand the still-
+    // current value to any flight followers.
+    if (cache_->refresh(key, policy.ttl, soft_ttl_for(policy))) {
+      trace.set_outcome(obs::Outcome::Revalidated);
+      return cache_->lookup_allow_stale(key).value;
+    }
+    result = remote_call(trace, request, op, record_mode_for(rep));
+  }
+
+  trace.set_outcome(obs::Outcome::Miss);
+  std::optional<std::chrono::milliseconds> ttl =
+      options_.policy.effective_ttl(policy, result.directives);
+  if (!ttl) return nullptr;  // directives suppressed the store
+
+  obs::StageTimer timer(trace, obs::Stage::Store);
+  ResponseCapture capture;
+  capture.response_xml = &result.response_xml;
+  capture.events = &result.events;
+  capture.compact_events = &result.compact_events;
+  capture.object = result.object;
+  capture.op = share_op(op);
+  obs::CostProfiles* const profiles = options_.profiles.get();
+  const std::uint64_t store_t0 = profiles ? obs::now_ns() : 0;
+  std::shared_ptr<const CachedValue> value = make_cached_value(rep, capture);
+  const std::uint64_t entry_bytes =
+      profiles ? key.memory_size() + value->memory_size() : 0;
+  cache_->store(key, value, *ttl, result.last_modified, soft_ttl_for(policy));
+  if (profiles) [[unlikely]]
+    profiles->record_miss(description_->name(), operation,
+                          representation_name(rep), result.deserialize_ns,
+                          obs::now_ns() - store_t0, entry_bytes);
+  return value;
 }
 
 std::optional<reflect::Object> CachingServiceClient::serve_stale_on_error(

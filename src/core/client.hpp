@@ -17,6 +17,7 @@
 //      store in the resolved representation, return the fresh object.
 #pragma once
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "core/cache_key.hpp"
 #include "core/cached_value.hpp"
 #include "core/policy.hpp"
+#include "core/refresh_queue.hpp"
 #include "core/response_cache.hpp"
 #include "obs/profiles.hpp"
 #include "obs/trace.hpp"
@@ -40,9 +42,11 @@ namespace wsc::cache {
 
 /// Fold RetryingTransport events (retries, breaker opens/probes, deadline
 /// hits) into the cache's CacheStats counters so one snapshot tells the
-/// whole availability story.  The stats object must outlive the transport.
+/// whole availability story.  The listener closures co-own the cache, so
+/// the counters cannot dangle if the cache is released before the
+/// transport (the old `CacheStats&` signature's lifetime footgun).
 void bind_transport_stats(transport::RetryingTransport& transport,
-                          CacheStats& stats);
+                          std::shared_ptr<ResponseCache> cache);
 
 class CachingServiceClient {
  public:
@@ -61,6 +65,14 @@ class CachingServiceClient {
     /// here (a hit cannot be wire-slow, and the check would cost two
     /// clock reads per hit).
     std::uint64_t slow_call_threshold_ns = 0;
+    /// Single-flight miss coalescing: concurrent identical misses share
+    /// ONE backend call — the first caller leads, the rest park on the
+    /// leader's flight.  Disabled, every miss makes its own wire call.
+    bool coalesce_misses = true;
+    /// How long a follower waits for its leader before giving up (a
+    /// FlightWait::Timeout falls back to stale-if-error, else throws
+    /// TimeoutError).  Each follower applies its own deadline.
+    std::chrono::milliseconds coalesce_wait{5000};
   };
 
   /// `description` is shared because cache entries (XML / SAX
@@ -70,6 +82,9 @@ class CachingServiceClient {
                        std::shared_ptr<const wsdl::ServiceDescription> description,
                        std::string endpoint_url,
                        std::shared_ptr<ResponseCache> cache, Options options);
+  /// Joins the background refresh worker (pending refreshes whose flights
+  /// were never run are failed, releasing any parked followers).
+  ~CachingServiceClient();
 
   /// Invoke an operation.  Returns the response application object (null
   /// for void operations).  Throws:
@@ -133,6 +148,31 @@ class CachingServiceClient {
       obs::CallTrace& trace, const std::string& operation, const CacheKey& key,
       const OperationPolicy& policy);
 
+  /// Static (WSDL) representation resolution, shared by the foreground
+  /// miss path and background refreshes.  Throws SerializationError when
+  /// the administrator configured an inapplicable representation.
+  Representation resolve_representation(const OperationPolicy& policy,
+                                        const wsdl::OperationInfo& op,
+                                        const std::string& operation) const;
+
+  /// Arrange ONE asynchronous refresh of `key` (SWR and refresh-ahead).
+  /// Returns true when a refresh is now running or already was in flight;
+  /// false when none will happen (queue saturated or flights shut down) —
+  /// the caller must fall back to a synchronous call or let the entry
+  /// expire.
+  bool schedule_refresh(const std::string& operation,
+                        const soap::RpcRequest& request,
+                        const wsdl::OperationInfo& op,
+                        const OperationPolicy& policy, const CacheKey& key);
+
+  /// Body of a background refresh: wire call (revalidating when possible),
+  /// store, return the stored value (null when directives suppressed the
+  /// store).  Runs on the RefreshQueue worker; throws on failure.
+  std::shared_ptr<const CachedValue> perform_refresh(
+      const std::string& operation, const soap::RpcRequest& request,
+      const wsdl::OperationInfo& op, const OperationPolicy& policy,
+      const CacheKey& key);
+
   soap::RpcRequest build_request(const std::string& operation,
                                  std::vector<soap::Parameter> params) const;
 
@@ -146,6 +186,10 @@ class CachingServiceClient {
   std::shared_ptr<ResponseCache> cache_;
   Options options_;
   std::unique_ptr<KeyGenerator> keygen_;
+  /// Declared LAST so it is destroyed FIRST: background refresh jobs use
+  /// every other member, and the queue's destructor joins the worker
+  /// before any of them can die.
+  RefreshQueue refresh_queue_;
 };
 
 }  // namespace wsc::cache

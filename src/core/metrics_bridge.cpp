@@ -47,6 +47,18 @@ void register_cache_metrics(obs::MetricsRegistry& registry,
        &StatsSnapshot::breaker_probes},
       {"wsc_cache_deadline_hits_total", "Per-call deadlines exceeded",
        &StatsSnapshot::deadline_hits},
+      {"wsc_cache_coalesced_waits_total",
+       "Followers parked on another caller's in-flight backend call",
+       &StatsSnapshot::coalesced_waits},
+      {"wsc_cache_coalesced_failures_total",
+       "Followers that observed the one broadcast leader failure",
+       &StatsSnapshot::coalesced_failures},
+      {"wsc_cache_stale_while_revalidate_served_total",
+       "Expired-within-grace entries served while a refresh ran",
+       &StatsSnapshot::stale_while_revalidate_served},
+      {"wsc_cache_refresh_ahead_triggered_total",
+       "Soft-TTL asynchronous refreshes kicked off",
+       &StatsSnapshot::refresh_ahead_triggered},
   };
   for (const CounterField& c : kCounters)
     registry.family(c.name, c.help, MetricsRegistry::Kind::Counter);

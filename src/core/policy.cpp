@@ -30,6 +30,18 @@ CachePolicy& CachePolicy::stale_if_error(const std::string& operation,
   return *this;
 }
 
+CachePolicy& CachePolicy::stale_while_revalidate(
+    const std::string& operation, std::chrono::milliseconds grace) {
+  policies_[operation].staleness.stale_while_revalidate = grace;
+  return *this;
+}
+
+CachePolicy& CachePolicy::refresh_ahead(const std::string& operation,
+                                        double fraction) {
+  policies_[operation].refresh_ahead = fraction;
+  return *this;
+}
+
 const OperationPolicy& CachePolicy::lookup(std::string_view operation) const {
   auto it = policies_.find(operation);
   return it == policies_.end() ? default_policy_ : it->second;

@@ -29,6 +29,11 @@ struct StalenessPolicy {
   /// response — an entry expired by at most this much may be served
   /// instead of surfacing the error.  Zero disables stale serving.
   std::chrono::milliseconds stale_if_error{0};
+  /// stale-while-revalidate grace (the other RFC 5861 directive): an entry
+  /// expired by at most this much is served *immediately* while ONE
+  /// background refresh revalidates it — a TTL-expiry storm on a hot key
+  /// never blocks callers on the wire.  Zero disables it.
+  std::chrono::milliseconds stale_while_revalidate{0};
 };
 
 struct OperationPolicy {
@@ -50,6 +55,11 @@ struct OperationPolicy {
   bool revalidate = false;
   /// Degraded-mode behaviour when the origin is unreachable.
   StalenessPolicy staleness;
+  /// Soft-TTL refresh-ahead: after this fraction of the TTL has elapsed,
+  /// the FIRST hit triggers one asynchronous background refresh, so a hot
+  /// key's entry is renewed before it ever expires (no stall at expiry).
+  /// 0 disables; meaningful values are in (0, 1), e.g. 0.8.
+  double refresh_ahead = 0.0;
 };
 
 class CachePolicy {
@@ -70,6 +80,15 @@ class CachePolicy {
   /// an operation that is not cacheable has no effect.
   CachePolicy& stale_if_error(const std::string& operation,
                               std::chrono::milliseconds grace);
+
+  /// Grant an already-configured operation a stale-while-revalidate grace
+  /// (see StalenessPolicy); same caveats as stale_if_error().
+  CachePolicy& stale_while_revalidate(const std::string& operation,
+                                      std::chrono::milliseconds grace);
+
+  /// Enable soft-TTL refresh-ahead for an operation (see
+  /// OperationPolicy::refresh_ahead); same caveats as stale_if_error().
+  CachePolicy& refresh_ahead(const std::string& operation, double fraction);
 
   /// Policy lookup; unconfigured operations return the uncacheable default.
   const OperationPolicy& lookup(std::string_view operation) const;

@@ -1,0 +1,62 @@
+#include "core/refresh_queue.hpp"
+
+#include <utility>
+
+namespace wsc::cache {
+
+bool RefreshQueue::submit(std::function<void()> job) {
+  {
+    std::lock_guard lock(mu_);
+    if (stopped_ || jobs_.size() >= max_pending_) return false;
+    jobs_.push_back(std::move(job));
+    if (!started_) {
+      worker_ = std::thread([this] { run(); });
+      started_ = true;
+    }
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void RefreshQueue::stop() {
+  std::thread worker;
+  {
+    std::lock_guard lock(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    worker = std::move(worker_);
+  }
+  cv_.notify_all();
+  if (worker.joinable()) worker.join();
+  // Destroy abandoned jobs AFTER the join: their destructors may fail
+  // single-flight guards, and doing that with no worker racing keeps the
+  // shutdown order obvious.
+  std::deque<std::function<void()>> abandoned;
+  {
+    std::lock_guard lock(mu_);
+    abandoned.swap(jobs_);
+  }
+}
+
+std::size_t RefreshQueue::pending() const {
+  std::lock_guard lock(mu_);
+  return jobs_.size();
+}
+
+void RefreshQueue::run() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopped_ || !jobs_.empty(); });
+      if (stopped_) return;
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    // Jobs own their error handling (background_refresh catches
+    // everything and fails its flight); a throw here would terminate.
+    job();
+  }
+}
+
+}  // namespace wsc::cache

@@ -1,0 +1,60 @@
+// A tiny bounded background-work queue for cache refreshes.
+//
+// Stale-while-revalidate and soft-TTL refresh-ahead both serve the caller
+// immediately and owe the cache ONE asynchronous refresh.  That refresh
+// runs here: a single lazily-started worker thread draining a bounded
+// queue.  One thread is deliberate — refreshes are per-key deduplicated
+// upstream by the single-flight table, so the queue sees at most one job
+// per hot key, and a single worker bounds the background load the client
+// can put on an already-struggling origin.
+//
+// submit() never blocks: when the queue is full (origin slower than the
+// refresh demand) or the queue is stopped, it returns false and the caller
+// falls back to doing nothing — the entry simply expires and the next miss
+// fetches it synchronously, which is the pre-SWR behaviour.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace wsc::cache {
+
+class RefreshQueue {
+ public:
+  explicit RefreshQueue(std::size_t max_pending = 64)
+      : max_pending_(max_pending) {}
+  /// Stops and joins the worker; pending (never-run) jobs are destroyed,
+  /// which fails their flights via the guards the closures own.
+  ~RefreshQueue() { stop(); }
+
+  RefreshQueue(const RefreshQueue&) = delete;
+  RefreshQueue& operator=(const RefreshQueue&) = delete;
+
+  /// Enqueue a job; starts the worker on first use.  Returns false (job
+  /// destroyed immediately) when full or stopped.
+  bool submit(std::function<void()> job);
+
+  /// Idempotent.  Waits for the in-progress job (if any), then discards
+  /// the rest.  After stop(), submit() always returns false.
+  void stop();
+
+  /// Jobs currently queued (not counting one mid-run).  For tests.
+  std::size_t pending() const;
+
+ private:
+  void run();
+
+  const std::size_t max_pending_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  std::thread worker_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace wsc::cache

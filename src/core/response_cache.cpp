@@ -1,8 +1,12 @@
 #include "core/response_cache.hpp"
 
 #include <bit>
+#include <condition_variable>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 
 #include "obs/events.hpp"
 
@@ -13,6 +17,38 @@ namespace {
 /// burst — worth a structured event, not just a counter tick.
 constexpr std::size_t kEvictionBurstThreshold = 8;
 }  // namespace
+
+/// One in-flight backend call.  Owns a copy of the key material (joiners
+/// arrive with borrowed KeyScratch views that die when their caller's stack
+/// unwinds) and the usual monitor state.  The table entry is erased when
+/// the leader finishes, but waiters hold shared_ptrs, so a slow follower
+/// can still read the published outcome afterwards.
+class ResponseCache::Flight {
+ public:
+  Flight(std::string material, std::uint64_t h)
+      : key_material(std::move(material)), hash(h) {}
+
+  const std::string key_material;
+  const std::uint64_t hash;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;                     // outcome published, cv notified
+  FlightWait outcome = FlightWait::Shutdown;
+  std::shared_ptr<const CachedValue> value;
+  std::exception_ptr error;
+  std::size_t waiters = 0;  // currently parked followers (event detail)
+};
+
+/// string_view keys point into each Flight's owned key_material, so the
+/// map allocates nothing per probe and nothing beyond the Flight per miss.
+struct ResponseCache::FlightTable {
+  std::mutex mu;
+  std::unordered_map<std::string_view, std::shared_ptr<Flight>> map;
+};
+
+ResponseCache::Shard::Shard() : flights(std::make_unique<FlightTable>()) {}
+ResponseCache::Shard::~Shard() = default;
 
 std::size_t default_shard_count() noexcept {
   unsigned hw = std::thread::hardware_concurrency();
@@ -33,6 +69,8 @@ ResponseCache::ResponseCache(Config config, const util::Clock& clock)
   for (std::size_t i = 0; i < config_.shards; ++i)
     shards_.push_back(std::make_unique<Shard>());
 }
+
+ResponseCache::~ResponseCache() { shutdown_flights(); }
 
 template <typename KeyLike>
 std::shared_ptr<const CachedValue> ResponseCache::lookup_impl(
@@ -92,7 +130,8 @@ std::shared_ptr<const CachedValue> ResponseCache::lookup(
 void ResponseCache::store(const CacheKey& key,
                           std::shared_ptr<const CachedValue> value,
                           std::chrono::milliseconds ttl,
-                          std::optional<std::chrono::seconds> last_modified) {
+                          std::optional<std::chrono::seconds> last_modified,
+                          std::chrono::milliseconds soft_ttl) {
   if (ttl <= std::chrono::milliseconds::zero()) {
     stats_.on_rejected_store();
     return;
@@ -132,6 +171,13 @@ void ResponseCache::store(const CacheKey& key,
     }
     entry.value = std::move(value);
     entry.expiry.store(tick(now + ttl), std::memory_order_release);
+    // Arm (or disarm) the one-shot refresh-ahead claim.  A soft TTL at or
+    // past the hard TTL is meaningless — expiry handling owns that case.
+    entry.soft_expiry.store(
+        (soft_ttl > std::chrono::milliseconds::zero() && soft_ttl < ttl)
+            ? tick(now + soft_ttl)
+            : Tick{0},
+        std::memory_order_relaxed);
     entry.last_modified = last_modified;
     entry.bytes = bytes;
     shard.bytes += bytes;
@@ -171,6 +217,13 @@ ResponseCache::StaleLookup ResponseCache::lookup_for_revalidation_impl(
   if (out.fresh) {
     it->second.mark.store(true, std::memory_order_relaxed);
     stats_.on_hit();
+    // Soft-TTL refresh-ahead: past the soft expiry, exactly one hit wins
+    // the claim (CAS to the 0 sentinel) and owes a background refresh.
+    Tick soft = it->second.soft_expiry.load(std::memory_order_relaxed);
+    if (soft != Tick{0} && now >= soft &&
+        it->second.soft_expiry.compare_exchange_strong(
+            soft, Tick{0}, std::memory_order_relaxed))
+      out.refresh_ahead = true;
   } else {
     out.staleness = util::Duration(now - expiry);
   }
@@ -203,7 +256,8 @@ ResponseCache::StaleLookup ResponseCache::lookup_allow_stale(
   return out;
 }
 
-bool ResponseCache::refresh(const CacheKey& key, std::chrono::milliseconds ttl) {
+bool ResponseCache::refresh(const CacheKey& key, std::chrono::milliseconds ttl,
+                            std::chrono::milliseconds soft_ttl) {
   Shard& shard = shard_for_hash(key.hash());
   // Renewing a lease mutates only the atomic expiry tick and the CLOCK
   // mark, so a shared lock suffices — revalidation storms do not serialize
@@ -211,11 +265,124 @@ bool ResponseCache::refresh(const CacheKey& key, std::chrono::milliseconds ttl) 
   std::shared_lock lock(shard.mu);
   auto it = shard.map.find(key);
   if (it == shard.map.end()) return false;
-  it->second.expiry.store(tick(clock_->now() + ttl),
-                          std::memory_order_release);
+  const util::TimePoint now = clock_->now();
+  it->second.expiry.store(tick(now + ttl), std::memory_order_release);
+  it->second.soft_expiry.store(
+      (soft_ttl > std::chrono::milliseconds::zero() && soft_ttl < ttl)
+          ? tick(now + soft_ttl)
+          : Tick{0},
+      std::memory_order_relaxed);
   it->second.mark.store(true, std::memory_order_relaxed);
   stats_.on_revalidation();
   return true;
+}
+
+ResponseCache::FlightHandle ResponseCache::join_flight(const CacheKeyRef& key) {
+  if (flights_down_.load(std::memory_order_acquire)) return {};
+  FlightTable& table = *shard_for_hash(key.hash).flights;
+  std::lock_guard lock(table.mu);
+  // Re-check under the table mutex: shutdown_flights() drains each table
+  // under this lock, so a join that sees the flag clear here is ordered
+  // before the drain and its flight WILL be woken.
+  if (flights_down_.load(std::memory_order_acquire)) return {};
+  auto it = table.map.find(key.material);
+  if (it != table.map.end()) return {it->second, /*leader=*/false};
+  auto flight = std::make_shared<Flight>(std::string(key.material), key.hash);
+  table.map.emplace(std::string_view(flight->key_material), flight);
+  return {std::move(flight), /*leader=*/true};
+}
+
+ResponseCache::FlightResult ResponseCache::wait_flight(
+    const FlightHandle& handle, std::chrono::milliseconds timeout) {
+  FlightResult out;  // defaults to Shutdown
+  if (!handle.flight || handle.leader) return out;
+  Flight& flight = *handle.flight;
+  stats_.on_coalesced_wait();
+  std::unique_lock lock(flight.mu);
+  ++flight.waiters;
+  const bool finished =
+      flight.cv.wait_for(lock, timeout, [&] { return flight.done; });
+  --flight.waiters;
+  if (!finished) {
+    out.outcome = FlightWait::Timeout;
+    return out;
+  }
+  out.outcome = flight.outcome;
+  out.value = flight.value;
+  out.error = flight.error;
+  if (out.outcome == FlightWait::Error) stats_.on_coalesced_failure();
+  return out;
+}
+
+void ResponseCache::finish_flight(const FlightHandle& handle,
+                                  FlightWait outcome,
+                                  std::shared_ptr<const CachedValue> value,
+                                  std::exception_ptr error) {
+  if (!handle.flight || !handle.leader) return;
+  Flight& flight = *handle.flight;
+  {
+    // Retire the table entry first so a racing join opens a NEW flight
+    // instead of boarding one that is already landing.
+    FlightTable& table = *shard_for_hash(flight.hash).flights;
+    std::lock_guard lock(table.mu);
+    auto it = table.map.find(std::string_view(flight.key_material));
+    if (it != table.map.end() && it->second == handle.flight)
+      table.map.erase(it);
+  }
+  std::size_t parked = 0;
+  {
+    std::lock_guard lock(flight.mu);
+    if (flight.done) return;  // shutdown_flights() already published
+    flight.outcome = outcome;
+    flight.value = std::move(value);
+    flight.error = std::move(error);
+    flight.done = true;
+    parked = flight.waiters;
+    flight.cv.notify_all();
+  }
+  // The one broadcast failure is an operational event: N callers saw ONE
+  // error where an uncoalesced herd would have produced N backend calls
+  // and N errors.  Emit outside both locks.
+  if (outcome == FlightWait::Error)
+    obs::event_log().emit(obs::EventKind::LeaderFailure, "cache",
+                          "coalesced leader failed; one error broadcast to " +
+                              std::to_string(parked) + " waiter(s)",
+                          parked);
+}
+
+void ResponseCache::complete_flight(const FlightHandle& handle,
+                                    std::shared_ptr<const CachedValue> value) {
+  const FlightWait outcome =
+      value ? FlightWait::Value : FlightWait::NoValue;
+  finish_flight(handle, outcome, std::move(value), nullptr);
+}
+
+void ResponseCache::fail_flight(const FlightHandle& handle,
+                                std::exception_ptr error) {
+  finish_flight(handle, FlightWait::Error, nullptr, std::move(error));
+}
+
+void ResponseCache::shutdown_flights() {
+  // Flag first (join_flight re-checks it under each table mutex), then
+  // drain every table and wake the orphans.  Leaders that finish later
+  // find their table entry gone and the outcome already published — their
+  // complete/fail becomes a no-op.
+  flights_down_.store(true, std::memory_order_release);
+  std::vector<std::shared_ptr<Flight>> orphans;
+  for (auto& shard : shards_) {
+    FlightTable& table = *shard->flights;
+    std::lock_guard lock(table.mu);
+    for (auto& [material, flight] : table.map)
+      orphans.push_back(std::move(flight));
+    table.map.clear();
+  }
+  for (auto& flight : orphans) {
+    std::lock_guard lock(flight->mu);
+    if (flight->done) continue;
+    flight->outcome = FlightWait::Shutdown;
+    flight->done = true;
+    flight->cv.notify_all();
+  }
 }
 
 bool ResponseCache::invalidate(const CacheKey& key) {

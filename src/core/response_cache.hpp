@@ -31,6 +31,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -72,6 +73,8 @@ class ResponseCache {
   ResponseCache() : ResponseCache(Config{}) {}
   explicit ResponseCache(Config config,
                          const util::Clock& clock = util::steady_clock());
+  /// Wakes every parked single-flight waiter (shutdown_flights()).
+  ~ResponseCache();
 
   /// Fresh-entry lookup.  Returns the stored value (shared; retrieve() is
   /// const and thread-safe) or nullptr on miss/expired.  Counts
@@ -87,9 +90,14 @@ class ResponseCache {
   /// A non-positive TTL is a no-op counted as `rejected_stores`: an
   /// already-expired entry must never charge the byte budget (where it
   /// could evict live entries before lazy expiry noticed it).
+  /// A positive `soft_ttl` (< ttl) arms the refresh-ahead claim: the first
+  /// lookup_for_revalidation() hit after `soft_ttl` elapses wins a
+  /// one-shot claim (StaleLookup::refresh_ahead) to refresh the entry in
+  /// the background before it expires.
   void store(const CacheKey& key, std::shared_ptr<const CachedValue> value,
              std::chrono::milliseconds ttl,
-             std::optional<std::chrono::seconds> last_modified = std::nullopt);
+             std::optional<std::chrono::seconds> last_modified = std::nullopt,
+             std::chrono::milliseconds soft_ttl = std::chrono::milliseconds(0));
 
   /// Lookup that also exposes an expired ("stale") entry so the caller can
   /// revalidate it with a conditional request instead of refetching
@@ -103,6 +111,10 @@ class ResponseCache {
     /// How far past expiry the entry is (zero when fresh or missing), so
     /// stale-if-error graces compare against real staleness, not guesses.
     util::Duration staleness{0};
+    /// True when THIS lookup won the entry's one-shot refresh-ahead claim
+    /// (fresh hit past the soft TTL): the caller owns kicking off exactly
+    /// one background refresh.  Re-armed by store()/refresh().
+    bool refresh_ahead = false;
   };
   StaleLookup lookup_for_revalidation(const CacheKey& key);
   StaleLookup lookup_for_revalidation(const CacheKeyRef& key);
@@ -119,7 +131,61 @@ class ResponseCache {
   /// Give an existing (possibly expired) entry a new lease after a 304.
   /// Returns false if the entry vanished meanwhile.  Shared-lock only:
   /// the new expiry is an atomic store on the entry's expiry tick.
-  bool refresh(const CacheKey& key, std::chrono::milliseconds ttl);
+  /// `soft_ttl` re-arms the refresh-ahead claim exactly as store() does.
+  bool refresh(const CacheKey& key, std::chrono::milliseconds ttl,
+               std::chrono::milliseconds soft_ttl = std::chrono::milliseconds(0));
+
+  // --- Single-flight miss coalescing (DESIGN.md §11) ----------------------
+  //
+  // A per-shard in-flight table (beside the CLOCK ring) keyed by the cache
+  // key material.  The first caller to join a key's flight becomes the
+  // LEADER and performs the backend call; every later joiner is a FOLLOWER
+  // and blocks on the flight (condition-variable wait with its own
+  // deadline).  The leader broadcasts exactly one outcome — a stored
+  // value, "nothing stored", or ONE failure — so a herd of N identical
+  // misses costs one wire call and one error at worst, never N.
+
+  class Flight;  // opaque; shared so waiters outlive table erasure
+
+  /// What a join returned.  A default-constructed (null) handle means
+  /// coalescing is unavailable (flights shut down): proceed uncoalesced.
+  struct FlightHandle {
+    std::shared_ptr<Flight> flight;
+    bool leader = false;
+    explicit operator bool() const noexcept { return flight != nullptr; }
+  };
+
+  /// How a follower's wait ended.
+  enum class FlightWait : std::uint8_t {
+    Value,     // leader stored a fresh entry; FlightResult::value is set
+    NoValue,   // leader finished without a storable value (e.g. no-store)
+    Error,     // leader failed; FlightResult::error holds the one broadcast
+    Timeout,   // this caller's deadline elapsed before the leader finished
+    Shutdown,  // flights shut down; nobody will complete this one
+  };
+  struct FlightResult {
+    FlightWait outcome = FlightWait::Shutdown;
+    std::shared_ptr<const CachedValue> value;
+    std::exception_ptr error;
+  };
+
+  /// Join (or open) the in-flight entry for `key`.  First joiner leads.
+  FlightHandle join_flight(const CacheKeyRef& key);
+  /// Follower: park until the leader completes or `timeout` elapses.
+  /// Counts coalesced_waits (and coalesced_failures on an Error outcome).
+  FlightResult wait_flight(const FlightHandle& handle,
+                           std::chrono::milliseconds timeout);
+  /// Leader: publish success and wake all followers.  A null `value` means
+  /// "call succeeded but nothing was stored" (FlightWait::NoValue).
+  /// No-op for followers / null handles / already-finished flights.
+  void complete_flight(const FlightHandle& handle,
+                       std::shared_ptr<const CachedValue> value);
+  /// Leader: broadcast the one failure to all followers.
+  void fail_flight(const FlightHandle& handle, std::exception_ptr error);
+  /// Wake every parked waiter with FlightWait::Shutdown, drop the in-flight
+  /// tables, and make join_flight() return null handles from now on.
+  /// Idempotent; called by the destructor.
+  void shutdown_flights();
 
   /// Remove one entry; true if it existed.
   bool invalidate(const CacheKey& key);
@@ -181,6 +247,10 @@ class ResponseCache {
   struct Entry {
     std::shared_ptr<const CachedValue> value;  // replaced under unique_lock
     std::atomic<Tick> expiry{0};
+    /// Refresh-ahead claim: the tick after which the FIRST revalidation
+    /// lookup wins a one-shot background-refresh claim (CAS to 0, the
+    /// "disabled/claimed" sentinel).  Re-armed by store()/refresh().
+    std::atomic<Tick> soft_expiry{0};
     /// CLOCK reference bit: set (relaxed) by every hit, cleared by the
     /// sweeping hand.  The only thing a hit writes besides stats.
     std::atomic<bool> mark{false};
@@ -209,12 +279,20 @@ class ResponseCache {
     explicit HotShard(std::size_t capacity) : sketch(capacity) {}
   };
 
+  /// Per-shard single-flight table behind its own mutex (defined in the
+  /// .cpp), separate from the shard's shared_mutex: joining a flight must
+  /// not contend with the hit path.
+  struct FlightTable;
+
   struct Shard {
+    Shard();   // out-of-line: FlightTable is incomplete here
+    ~Shard();
     mutable std::shared_mutex mu;
     Map map;
     Entry* hand = nullptr;  // next ring node the sweep examines
     std::size_t bytes = 0;
     std::unique_ptr<HotShard> hot;  // set once by enable_hot_key_tracking
+    std::unique_ptr<FlightTable> flights;  // always allocated
   };
 
   Shard& shard_for_hash(std::uint64_t hash) {
@@ -248,6 +326,12 @@ class ResponseCache {
     return key.material;
   }
 
+  /// Common tail of complete_flight/fail_flight: erase the table entry (if
+  /// it is still this flight), publish the outcome once, wake everyone.
+  void finish_flight(const FlightHandle& handle, FlightWait outcome,
+                     std::shared_ptr<const CachedValue> value,
+                     std::exception_ptr error);
+
   void erase_locked(Shard& shard, Map::iterator it);
   /// Returns the number of budget evictions this call performed (expired
   /// reclaims excluded), so store() can flag eviction bursts.
@@ -260,6 +344,7 @@ class ResponseCache {
   const util::Clock* clock_;
   std::vector<std::unique_ptr<Shard>> shards_;
   CacheStats stats_;
+  std::atomic<bool> flights_down_{false};
   std::atomic<bool> hot_enabled_{false};
   HotKeyOptions hot_options_;  // fixed before hot_enabled_ is released
 };

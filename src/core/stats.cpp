@@ -5,7 +5,7 @@
 namespace wsc::cache {
 
 std::string StatsSnapshot::to_string() const {
-  char buf[640];
+  char buf[832];
   std::snprintf(buf, sizeof(buf),
                 "hits=%llu misses=%llu (ratio %.1f%%) stores=%llu "
                 "rejected_stores=%llu "
@@ -13,6 +13,8 @@ std::string StatsSnapshot::to_string() const {
                 "second_chances=%llu revalidated=%llu uncacheable=%llu "
                 "stale_serves=%llu retries=%llu breaker_opens=%llu "
                 "breaker_probes=%llu deadline_hits=%llu "
+                "coalesced_waits=%llu coalesced_failures=%llu "
+                "swr_served=%llu refresh_ahead=%llu "
                 "entries=%llu bytes=%llu",
                 static_cast<unsigned long long>(hits),
                 static_cast<unsigned long long>(misses), hit_ratio() * 100.0,
@@ -29,6 +31,10 @@ std::string StatsSnapshot::to_string() const {
                 static_cast<unsigned long long>(breaker_opens),
                 static_cast<unsigned long long>(breaker_probes),
                 static_cast<unsigned long long>(deadline_hits),
+                static_cast<unsigned long long>(coalesced_waits),
+                static_cast<unsigned long long>(coalesced_failures),
+                static_cast<unsigned long long>(stale_while_revalidate_served),
+                static_cast<unsigned long long>(refresh_ahead_triggered),
                 static_cast<unsigned long long>(entries),
                 static_cast<unsigned long long>(bytes));
   return buf;
@@ -60,6 +66,10 @@ std::string stats_json(const StatsSnapshot& s) {
   field("breaker_opens", s.breaker_opens);
   field("breaker_probes", s.breaker_probes);
   field("deadline_hits", s.deadline_hits);
+  field("coalesced_waits", s.coalesced_waits);
+  field("coalesced_failures", s.coalesced_failures);
+  field("stale_while_revalidate_served", s.stale_while_revalidate_served);
+  field("refresh_ahead_triggered", s.refresh_ahead_triggered);
   field("entries", s.entries);
   field("bytes", s.bytes);
   char ratio[48];
@@ -88,6 +98,10 @@ StatsSnapshot CacheStats::snapshot(std::uint64_t entries,
   s.breaker_opens = breaker_opens_.load(std::memory_order_relaxed);
   s.breaker_probes = breaker_probes_.load(std::memory_order_relaxed);
   s.deadline_hits = deadline_hits_.load(std::memory_order_relaxed);
+  s.coalesced_waits = coalesced_waits_.load(std::memory_order_relaxed);
+  s.coalesced_failures = coalesced_failures_.load(std::memory_order_relaxed);
+  s.stale_while_revalidate_served = swr_served_.load(std::memory_order_relaxed);
+  s.refresh_ahead_triggered = refresh_ahead_.load(std::memory_order_relaxed);
   s.entries = entries;
   s.bytes = bytes;
   return s;

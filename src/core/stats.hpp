@@ -36,6 +36,11 @@ struct StatsSnapshot {
   std::uint64_t breaker_opens = 0;     // circuit breaker closed/half-open -> open
   std::uint64_t breaker_probes = 0;    // half-open recovery trial calls
   std::uint64_t deadline_hits = 0;     // per-call deadlines exceeded
+  // Single-flight / anti-herd counters (ISSUE 8):
+  std::uint64_t coalesced_waits = 0;       // followers parked on a leader's call
+  std::uint64_t coalesced_failures = 0;    // followers that observed the one broadcast failure
+  std::uint64_t stale_while_revalidate_served = 0;  // stale served while a refresh ran
+  std::uint64_t refresh_ahead_triggered = 0;        // soft-TTL async refreshes kicked off
   std::uint64_t entries = 0;       // current entry count
   std::uint64_t bytes = 0;         // current approximate footprint
 
@@ -69,6 +74,10 @@ class CacheStats {
   void on_breaker_open() { breaker_opens_.fetch_add(1, std::memory_order_relaxed); }
   void on_breaker_probe() { breaker_probes_.fetch_add(1, std::memory_order_relaxed); }
   void on_deadline_hit() { deadline_hits_.fetch_add(1, std::memory_order_relaxed); }
+  void on_coalesced_wait() { coalesced_waits_.fetch_add(1, std::memory_order_relaxed); }
+  void on_coalesced_failure() { coalesced_failures_.fetch_add(1, std::memory_order_relaxed); }
+  void on_swr_serve() { swr_served_.fetch_add(1, std::memory_order_relaxed); }
+  void on_refresh_ahead() { refresh_ahead_.fetch_add(1, std::memory_order_relaxed); }
 
   StatsSnapshot snapshot(std::uint64_t entries, std::uint64_t bytes) const;
 
@@ -87,7 +96,9 @@ class CacheStats {
   std::atomic<std::uint64_t> rejected_stores_{0}, clock_sweeps_{0},
       second_chances_{0}, invalidations_{0}, revalidations_{0},
       uncacheable_{0}, stale_serves_{0}, transport_retries_{0},
-      breaker_opens_{0}, breaker_probes_{0}, deadline_hits_{0};
+      breaker_opens_{0}, breaker_probes_{0}, deadline_hits_{0},
+      coalesced_waits_{0}, coalesced_failures_{0}, swr_served_{0},
+      refresh_ahead_{0};
 };
 
 }  // namespace wsc::cache

@@ -16,6 +16,8 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::StaleServe: return "stale_serve";
     case EventKind::SlowCall: return "slow_call";
     case EventKind::DeadlineHit: return "deadline_hit";
+    case EventKind::LeaderFailure: return "leader_failure";
+    case EventKind::RefreshAhead: return "refresh_ahead";
   }
   return "unknown";
 }

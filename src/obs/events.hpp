@@ -32,8 +32,10 @@ enum class EventKind : std::uint8_t {
   StaleServe,     // wire failed; expired entry served within grace
   SlowCall,       // miss-path call exceeded the configured threshold
   DeadlineHit,    // per-call deadline exceeded
+  LeaderFailure,  // coalesced leader failed; one error broadcast to waiters
+  RefreshAhead,   // soft-TTL hit triggered an async background refresh
 };
-inline constexpr std::size_t kEventKindCount = 7;
+inline constexpr std::size_t kEventKindCount = 9;
 std::string_view event_kind_name(EventKind kind);
 
 struct Event {

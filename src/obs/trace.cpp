@@ -51,6 +51,8 @@ std::string_view outcome_name(Outcome o) {
     case Outcome::StaleServe: return "stale_serve";
     case Outcome::Uncacheable: return "uncacheable";
     case Outcome::Error: return "error";
+    case Outcome::Coalesced: return "coalesced";
+    case Outcome::StaleRevalidate: return "stale_revalidate";
   }
   return "unknown";
 }

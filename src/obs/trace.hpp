@@ -55,8 +55,10 @@ enum class Outcome : std::uint8_t {
   StaleServe,   // wire failed; expired entry served within grace
   Uncacheable,  // policy bypassed the cache
   Error,        // call raised
+  Coalesced,       // follower served from another caller's in-flight call
+  StaleRevalidate, // expired-within-grace entry served; refresh in background
 };
-inline constexpr std::size_t kOutcomeCount = 6;
+inline constexpr std::size_t kOutcomeCount = 8;
 std::string_view outcome_name(Outcome o);
 
 /// The label set every trace aggregate and exemplar carries.

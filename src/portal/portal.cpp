@@ -36,6 +36,22 @@ PortalSite::PortalSite(PortalConfig config)
   }
   if (config.options.slow_call_threshold_ns == 0)
     config.options.slow_call_threshold_ns = 50'000'000;  // 50 ms
+  // A popular portal query is exactly the thundering-herd shape the
+  // single-flight layer guards against (DESIGN.md §11): when the deployer
+  // made doGoogleSearch cacheable but left the anti-herd knobs unset,
+  // default to serving stale-within-grace while ONE background refresh
+  // runs, and to renewing the entry ahead of expiry on hot keys.
+  {
+    const cache::OperationPolicy& search =
+        config.options.policy.lookup("doGoogleSearch");
+    if (search.cacheable) {
+      if (search.staleness.stale_while_revalidate.count() == 0)
+        config.options.policy.stale_while_revalidate("doGoogleSearch",
+                                                     std::chrono::seconds(30));
+      if (search.refresh_ahead == 0.0)
+        config.options.policy.refresh_ahead("doGoogleSearch", 0.8);
+    }
+  }
   cache_->enable_hot_key_tracking({/*capacity=*/64, /*sample_every=*/1});
   request_latency_ = &metrics_->summary(
       "wsc_portal_request_ns", "Portal page render latency (ns), end to end.");

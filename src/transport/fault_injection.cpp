@@ -48,6 +48,7 @@ FaultInjectingTransport::Fault FaultInjectingTransport::draw_fault_locked() {
 WireResponse FaultInjectingTransport::post(const util::Uri& endpoint,
                                            const WireRequest& request) {
   Fault fault;
+  bool spiked = false;
   {
     std::lock_guard lock(mu_);
     ++counters_.calls;
@@ -64,6 +65,15 @@ WireResponse FaultInjectingTransport::post(const util::Uri& endpoint,
                            endpoint.to_string());
     }
     fault = draw_fault_locked();
+    if (spec_.spike_after >= 0 && index >= spec_.spike_after &&
+        index < spec_.spike_after + spec_.spike_length) {
+      // The draw above already happened, so the RNG stream (and therefore
+      // the fault schedule outside the window) is unchanged by the spike;
+      // inside it the spike wins — deliver intact, just late.
+      fault = Fault::None;
+      spiked = true;
+      ++counters_.spiked;
+    }
     switch (fault) {
       case Fault::Refuse: ++counters_.refused; break;
       case Fault::Stall: ++counters_.stalled; break;
@@ -74,6 +84,7 @@ WireResponse FaultInjectingTransport::post(const util::Uri& endpoint,
     }
   }
 
+  if (spiked) std::this_thread::sleep_for(spec_.spike_latency);
   switch (fault) {
     case Fault::Refuse:
       throw TransportError("injected fault: connection refused by " +

@@ -49,6 +49,16 @@ struct FaultSpec {
   /// all refused regardless of probabilities.  outage_after < 0 disables.
   long outage_after = -1;
   long outage_length = 0;
+  /// Deterministic latency spike: calls [spike_after, spike_after +
+  /// spike_length) are delivered INTACT but only after `spike_latency` of
+  /// real wall time — slow, short of any deadline.  Unlike p_slow this is
+  /// indexed, not drawn, so a test can hold exactly the Nth call (e.g. a
+  /// coalescing leader) in flight.  The per-call RNG draw still happens
+  /// inside the window, keeping the probabilistic schedule aligned with
+  /// the same seed outside it.  spike_after < 0 disables.
+  long spike_after = -1;
+  long spike_length = 0;
+  std::chrono::milliseconds spike_latency{50};
 };
 
 class FaultInjectingTransport final : public Transport {
@@ -60,6 +70,7 @@ class FaultInjectingTransport final : public Transport {
     std::uint64_t truncated = 0;
     std::uint64_t corrupted = 0;
     std::uint64_t slowed = 0;
+    std::uint64_t spiked = 0;  // calls held by the deterministic spike window
     std::uint64_t outage_failures = 0;
     std::uint64_t down_failures = 0;
     std::uint64_t delivered = 0;  // intact responses (slowed ones included)

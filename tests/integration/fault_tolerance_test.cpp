@@ -65,7 +65,7 @@ struct Stack {
 
     response_cache = std::make_shared<cache::ResponseCache>(
         cache::ResponseCache::Config{}, clock);
-    cache::bind_transport_stats(*retrying, response_cache->counters());
+    cache::bind_transport_stats(*retrying, response_cache);
 
     cache::CachingServiceClient::Options options;
     options.policy = std::move(policy);

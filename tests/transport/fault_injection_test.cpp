@@ -178,6 +178,73 @@ TEST(FaultInjectionTest, BurstOutageWindowFailsExactlyThoseCalls) {
   EXPECT_EQ(transport.counters().outage_failures, 4u);
 }
 
+TEST(FaultInjectionTest, SpikeWindowDelaysExactlyThoseCallsIntact) {
+  FaultSpec spec;  // all probabilities zero: only the spike window fires
+  spec.spike_after = 2;
+  spec.spike_length = 3;
+  spec.spike_latency = std::chrono::milliseconds(30);
+  auto inner = std::make_shared<CannedTransport>();
+  FaultInjectingTransport transport(inner, spec);
+
+  for (int i = 0; i < 7; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    WireResponse r = transport.post(kEndpoint, request());
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    // Spiked or not, the response is always delivered INTACT.
+    EXPECT_EQ(r.body, "<r>canned-response-body</r>") << "call " << i;
+    if (i >= 2 && i < 5) {
+      EXPECT_GE(elapsed, spec.spike_latency) << "call " << i;
+    } else {
+      EXPECT_LT(elapsed, spec.spike_latency) << "call " << i;
+    }
+  }
+  FaultInjectingTransport::Counters c = transport.counters();
+  EXPECT_EQ(c.spiked, 3u);
+  EXPECT_EQ(c.delivered, 7u);  // a spike is latency, never loss
+  EXPECT_EQ(inner->calls, 7);
+}
+
+TEST(FaultInjectionTest, SpikeWindowOverridesTheDrawnFaultButNotTheStream) {
+  // With p_connect_refused=1 every call outside the window refuses; inside
+  // it the spike wins and the call is delivered — slow but intact.
+  FaultSpec spec;
+  spec.p_connect_refused = 1.0;
+  spec.spike_after = 1;
+  spec.spike_length = 2;
+  spec.spike_latency = std::chrono::milliseconds(1);
+  FaultInjectingTransport transport(std::make_shared<CannedTransport>(), spec);
+  std::vector<std::string> trace = outcome_trace(transport, 5);
+  std::vector<std::string> expected = {"refuse", "ok", "ok", "refuse",
+                                       "refuse"};
+  EXPECT_EQ(trace, expected);
+  EXPECT_EQ(transport.counters().spiked, 2u);
+}
+
+TEST(FaultInjectionTest, SpikeWindowKeepsTheSeededScheduleAligned) {
+  // The per-call RNG draw still happens inside the spike window, so two
+  // transports with the same seed — one spiking, one not — must produce
+  // the SAME fault schedule outside the window.
+  const std::uint64_t seed = 20260807;
+  SCOPED_TRACE("fault seed = " + std::to_string(seed));
+  FaultSpec plain = mixed_spec(seed);
+  FaultSpec spiking = mixed_spec(seed);
+  spiking.spike_after = 10;
+  spiking.spike_length = 5;
+  spiking.spike_latency = std::chrono::milliseconds(0);
+  FaultInjectingTransport a(std::make_shared<CannedTransport>(), plain);
+  FaultInjectingTransport b(std::make_shared<CannedTransport>(), spiking);
+  std::vector<std::string> trace_a = outcome_trace(a, 60);
+  std::vector<std::string> trace_b = outcome_trace(b, 60);
+  ASSERT_EQ(trace_a.size(), trace_b.size());
+  for (std::size_t i = 0; i < trace_a.size(); ++i) {
+    if (i >= 10 && i < 15) {
+      EXPECT_EQ(trace_b[i], "ok") << "call " << i;  // the spike delivers
+    } else {
+      EXPECT_EQ(trace_a[i], trace_b[i]) << "call " << i;  // streams aligned
+    }
+  }
+}
+
 TEST(FaultInjectionTest, DownSwitchOverridesEverything) {
   auto inner = std::make_shared<CannedTransport>();
   FaultInjectingTransport transport(inner, FaultSpec{});

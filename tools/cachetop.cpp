@@ -142,6 +142,13 @@ void draw_frame(const Args& args, const std::string& prom,
       prom_value(prom, "wsc_cache_stale_serves_total"),
       prom_value(prom, "wsc_cache_transport_retries_total"),
       prom_value(prom, "wsc_cache_breaker_opens_total"));
+  std::printf(
+      "anti-herd: coalesced waits %.0f (%.0f failed)  swr serves %.0f  "
+      "refresh-ahead %.0f\n",
+      prom_value(prom, "wsc_cache_coalesced_waits_total"),
+      prom_value(prom, "wsc_cache_coalesced_failures_total"),
+      prom_value(prom, "wsc_cache_stale_while_revalidate_served_total"),
+      prom_value(prom, "wsc_cache_refresh_ahead_triggered_total"));
   if (const util::json::Value* cache = profiles.find("cache"))
     std::printf("footprint: %.0f entries, %s\n", cache->number_or("entries"),
                 human_bytes(cache->number_or("bytes")).c_str());

@@ -10,6 +10,8 @@
 //   build/examples/portal_site --serve         # keep serving (ctrl-C quits)
 //   build/examples/portal_site --port 8080     # pin the portal listen port
 //   build/examples/portal_site --no-sweep      # skip the sweep (CI smoke)
+//   build/examples/portal_site --mode threaded # thread-per-connection server
+//                                              # (default: epoll reactor)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +30,8 @@ int main(int argc, char** argv) {
   bool serve = false;
   bool sweep = true;
   int port = 0;  // 0 = ephemeral
+  http::ServerOptions server_options;
+  server_options.mode = http::ServerOptions::Mode::Reactor;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serve") == 0) {
       serve = true;
@@ -35,8 +39,20 @@ int main(int argc, char** argv) {
       sweep = false;
     } else if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
       port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      const char* mode = argv[++i];
+      if (std::strcmp(mode, "threaded") == 0) {
+        server_options.mode = http::ServerOptions::Mode::Threaded;
+      } else if (std::strcmp(mode, "reactor") == 0) {
+        server_options.mode = http::ServerOptions::Mode::Reactor;
+      } else {
+        std::fprintf(stderr, "unknown --mode %s\n", mode);
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--serve] [--no-sweep] [--port N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--serve] [--no-sweep] [--port N] "
+                   "[--mode threaded|reactor]\n",
                    argv[0]);
       return 2;
     }
@@ -56,8 +72,14 @@ int main(int argc, char** argv) {
   config.options.key_method = cache::KeyMethod::ToString;
   config.options.policy = services::google::default_google_policy();
   portal::PortalSite site(std::move(config));
-  http::HttpServer portal_server(port, site.handler());
+  http::HttpServer portal_server(static_cast<std::uint16_t>(port),
+                                 site.handler(), server_options);
+  site.attach_server(portal_server);
   portal_server.start();
+  std::printf("portal mode       : %s\n",
+              server_options.mode == http::ServerOptions::Mode::Reactor
+                  ? "reactor (epoll)"
+                  : "threaded");
   std::printf("portal site       : %s/portal?q=anything\n",
               portal_server.base_url().c_str());
   std::printf("admin endpoints   : %s/stats  %s/metrics\n\n",

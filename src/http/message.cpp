@@ -62,10 +62,19 @@ std::string_view reason_phrase(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 408: return "Request Timeout";
+    case 413: return "Content Too Large";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
     default: return "Unknown";
   }
+}
+
+bool request_keep_alive(const Request& request) {
+  auto conn = request.headers.get("Connection");
+  if (request.minor_version == 0)
+    return conn && util::iequals(*conn, "keep-alive");
+  return !(conn && util::iequals(*conn, "close"));
 }
 
 }  // namespace wsc::http

@@ -33,6 +33,9 @@ class Headers {
 struct Request {
   std::string method = "GET";
   std::string target = "/";
+  /// 0 for HTTP/1.0, 1 for HTTP/1.1 — keep-alive defaults differ (RFC
+  /// 7230 §6.3: 1.0 closes unless the client asked to persist).
+  int minor_version = 1;
   Headers headers;
   std::string body;
 
@@ -51,5 +54,10 @@ struct Response {
 
 /// Standard reason phrase ("OK", "Not Modified", ...).
 std::string_view reason_phrase(int status);
+
+/// Whether the connection should persist after answering `request`:
+/// HTTP/1.1 keep-alives unless the client sent `Connection: close`;
+/// HTTP/1.0 closes unless the client sent `Connection: keep-alive`.
+bool request_keep_alive(const Request& request);
 
 }  // namespace wsc::http

@@ -1,16 +1,13 @@
 #include "http/parser.hpp"
 
+#include <algorithm>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
 namespace wsc::http {
 
 namespace detail {
-
-namespace {
-constexpr std::size_t kMaxHeadBytes = 64 * 1024;
-constexpr std::size_t kMaxBodyBytes = 256 * 1024 * 1024;
-}  // namespace
 
 std::size_t MessageAssembler::feed(std::string_view data) {
   std::size_t consumed = 0;
@@ -21,10 +18,16 @@ std::size_t MessageAssembler::feed(std::string_view data) {
     consumed = data.size();
     auto end = head_buf_.find("\r\n\r\n", scan_from);
     if (end == std::string::npos) {
-      if (head_buf_.size() > kMaxHeadBytes)
-        throw ParseError("HTTP: header section too large");
+      if (head_buf_.size() > limits_.max_head_bytes)
+        throw HeaderLimitError("HTTP: header section too large (" +
+                               std::to_string(head_buf_.size()) + " > " +
+                               std::to_string(limits_.max_head_bytes) + ")");
       return consumed;
     }
+    if (end > limits_.max_head_bytes)
+      throw HeaderLimitError("HTTP: header section too large (" +
+                             std::to_string(end) + " > " +
+                             std::to_string(limits_.max_head_bytes) + ")");
     // Bytes past the head belong to the body (or the next message).
     std::string rest = head_buf_.substr(end + 4);
     head_buf_.resize(end);
@@ -78,11 +81,17 @@ void MessageAssembler::parse_head(std::string_view head) {
   body_expected_ = 0;
   if (auto cl = headers().get("Content-Length")) {
     std::int64_t n = util::parse_i64(*cl);
-    if (n < 0 || static_cast<std::size_t>(n) > kMaxBodyBytes)
-      throw ParseError("HTTP: bad Content-Length");
+    if (n < 0) throw ParseError("HTTP: bad Content-Length");
+    if (static_cast<std::size_t>(n) > limits_.max_body_bytes)
+      throw BodyLimitError("HTTP: declared body too large (" +
+                           std::to_string(n) + " > " +
+                           std::to_string(limits_.max_body_bytes) + ")");
     body_expected_ = static_cast<std::size_t>(n);
   }
-  body().reserve(body_expected_);
+  // Reserve incrementally-bounded capacity: a hostile peer that declares a
+  // large body but never sends it must not make us commit the allocation
+  // up front.
+  body().reserve(std::min<std::size_t>(body_expected_, 1 << 20));
 }
 
 void MessageAssembler::reset_framing() {
@@ -99,6 +108,7 @@ void RequestParser::on_start_line(std::string_view line) {
     throw ParseError("HTTP: malformed request line '" + std::string(line) + "'");
   if (parts[2] != "HTTP/1.1" && parts[2] != "HTTP/1.0")
     throw ParseError("HTTP: unsupported version '" + parts[2] + "'");
+  request_.minor_version = parts[2] == "HTTP/1.0" ? 0 : 1;
   request_.method = parts[0];
   request_.target = parts[1];
 }

@@ -8,8 +8,30 @@
 #include <string_view>
 
 #include "http/message.hpp"
+#include "util/error.hpp"
 
 namespace wsc::http {
+
+/// Per-message size caps.  A hostile peer can otherwise stream unbounded
+/// header bytes or declare a huge Content-Length and balloon memory; the
+/// server maps violations to 431 / 413 responses before dropping the
+/// connection.
+struct ParserLimits {
+  std::size_t max_head_bytes = 64 * 1024;
+  std::size_t max_body_bytes = 256 * 1024 * 1024;
+};
+
+/// Header section exceeded ParserLimits::max_head_bytes (HTTP 431).
+class HeaderLimitError : public ParseError {
+ public:
+  using ParseError::ParseError;
+};
+
+/// Declared Content-Length exceeded ParserLimits::max_body_bytes (HTTP 413).
+class BodyLimitError : public ParseError {
+ public:
+  using ParseError::ParseError;
+};
 
 namespace detail {
 
@@ -22,6 +44,10 @@ class MessageAssembler {
   /// remainder after complete() (pipelined messages).
   std::size_t feed(std::string_view data);
   bool complete() const noexcept { return state_ == State::Done; }
+
+  /// Replace the default size caps (keeps effect across reset_framing()).
+  void set_limits(const ParserLimits& limits) { limits_ = limits; }
+  const ParserLimits& limits() const noexcept { return limits_; }
 
  protected:
   virtual ~MessageAssembler() = default;
@@ -38,6 +64,7 @@ class MessageAssembler {
   State state_ = State::Head;
   std::string head_buf_;
   std::size_t body_expected_ = 0;
+  ParserLimits limits_;
 };
 
 }  // namespace detail

@@ -1,0 +1,105 @@
+// Nonblocking epoll reactor behind HttpServer's Reactor mode.
+//
+// Architecture (DESIGN.md §12):
+//
+//   accept --pacing--> [event loop 0..N-1] --parsed Request--> worker pool
+//        listener           |   ^                                  |
+//        (loop 0)           v   | completions (mailbox + eventfd)  |
+//                      connection FSM  <----------------------------
+//
+// Each accepted socket belongs to exactly one event loop; all of its
+// state (parser, buffers, idle-list links) is touched only by that loop's
+// thread.  Workers receive the parsed Request by value and hand the
+// serialized response bytes back through the loop's mailbox, so no
+// socket or epoll call ever happens off-loop.  Backpressure: the listener
+// is unregistered from epoll while the active-connection or dispatch-
+// queue caps are exceeded (accept pacing — the kernel backlog absorbs the
+// burst), and a connection whose un-flushed output exceeds the write cap
+// is closed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "http/server.hpp"
+
+namespace wsc::http {
+
+class EpollReactor {
+ public:
+  EpollReactor(std::uint16_t port, Handler handler, ServerOptions options,
+               ServerStats& stats);
+  ~EpollReactor();
+
+  EpollReactor(const EpollReactor&) = delete;
+  EpollReactor& operator=(const EpollReactor&) = delete;
+
+  void start();
+  void stop();
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+
+ private:
+  struct Conn;
+  struct Loop;
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::string bytes;
+    bool close_after = false;
+  };
+
+  void loop_main(Loop& loop);
+  void process_mailbox(Loop& loop);
+  void accept_batch(Loop& loop);
+  void pause_accepting(Loop& loop);
+  void maybe_resume_accepting(Loop& loop);
+  bool over_pressure() const;
+
+  Conn* find_conn(Loop& loop, std::uint64_t id);
+  void add_conn(Loop& loop, TcpStream stream);
+  void close_conn(Loop& loop, Conn& conn, bool reaped_idle = false);
+  /// All return false when they closed the connection.
+  bool handle_readable(Loop& loop, Conn& conn);
+  bool on_request(Loop& loop, Conn& conn);
+  bool apply_completion(Loop& loop, Conn& conn, std::string bytes,
+                        bool close_after);
+  bool flush(Loop& loop, Conn& conn);
+  bool respond_direct(Loop& loop, Conn& conn, int status,
+                      const std::string& body, bool close_after);
+  void update_interest(Loop& loop, Conn& conn, bool want_read,
+                       bool want_write);
+
+  void idle_touch(Loop& loop, Conn& conn);
+  void idle_unlink(Loop& loop, Conn& conn);
+  void reap_idle(Loop& loop, std::uint64_t now_ns);
+
+  void post_completion(Loop& loop, Completion completion);
+  void wake(Loop& loop);
+  /// Runs the handler (500 on throw) and serializes the response.  Called
+  /// from worker threads — touches no loop or connection state.
+  Completion make_completion(std::uint64_t conn_id, const Request& request,
+                             bool keep_alive);
+
+  ServerOptions options_;
+  Handler handler_;
+  ServerStats& stats_;
+  TcpListener listener_;
+
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};   // stop() entered: close after reply
+  std::atomic<bool> accept_paused_{false};
+  std::atomic<std::uint64_t> next_conn_id_{16};
+  std::atomic<std::size_t> next_loop_{0};
+
+  // Bounded handler pool (lazily started; completions flow via mailboxes).
+  class WorkerPool;
+  std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace wsc::http

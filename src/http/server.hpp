@@ -1,30 +1,85 @@
-// Threaded HTTP/1.1 server with keep-alive — the Tomcat stand-in.
+// HTTP/1.1 server with keep-alive, in two interchangeable modes:
 //
-// An acceptor thread hands each connection to a worker thread that serves
-// requests until the peer disconnects.  `Handler` is invoked once per
-// request; exceptions map to 500 responses so a buggy service cannot wedge
-// a connection.
+//  * Threaded — the Tomcat stand-in of the paper's portal scenario: an
+//    acceptor thread hands each connection to a worker thread that serves
+//    requests until the peer disconnects.  Finished worker handles are
+//    reaped as the server runs (they used to accumulate forever).
+//  * Reactor — a nonblocking epoll event loop owning every accepted
+//    socket: per-connection state machines drive the incremental
+//    RequestParser, parsed requests dispatch to a bounded worker pool,
+//    responses stream back with EPOLLOUT re-arming, idle keep-alive
+//    connections are reaped on a deadline, and backpressure comes from
+//    accept pacing plus per-connection write-buffer caps.  This is the
+//    mode that holds 10k concurrent connections cheaply.
+//
+// `Handler` is invoked once per request; exceptions map to 500 responses
+// so a buggy service cannot wedge a connection.  Hostile inputs (oversized
+// headers/bodies, garbage framing) map to 431/413/400 and a dropped
+// connection — never a dead process.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "http/message.hpp"
+#include "http/parser.hpp"
+#include "http/server_stats.hpp"
 #include "http/socket.hpp"
 
 namespace wsc::http {
 
 using Handler = std::function<Response(const Request&)>;
 
+class EpollReactor;  // reactor.hpp
+
+struct ServerOptions {
+  enum class Mode { Threaded, Reactor };
+  Mode mode = Mode::Threaded;
+
+  /// Per-message size caps (431/413 on violation).
+  ParserLimits limits;
+
+  /// Reactor: close keep-alive connections idle longer than this (zero
+  /// disables reaping).
+  std::chrono::milliseconds idle_timeout{60'000};
+
+  /// Reactor: pause accepting when this many connections are active;
+  /// resume below 90% (accept pacing backpressure).
+  std::size_t max_connections = 16 * 1024;
+
+  /// Reactor: close a connection whose un-flushed response bytes exceed
+  /// this cap (slow or stalled reader).
+  std::size_t write_buffer_cap = 4 * 1024 * 1024;
+
+  /// Reactor: handler threads.  0 = 2 x hardware_concurrency (the handler
+  /// is synchronous and may block on backend SOAP calls).  SIZE_MAX is
+  /// reserved; 1..N gives a fixed pool.  `inline_handlers` = true runs
+  /// handlers on the event loop itself (tests, pure-CPU handlers).
+  std::size_t worker_threads = 0;
+  bool inline_handlers = false;
+
+  /// Reactor: pause accepting while more than this many requests are
+  /// queued or running in the worker pool (0 = 64 x worker threads).
+  std::size_t max_dispatch_queue = 0;
+
+  /// Reactor: number of event loops (sockets are sharded across them
+  /// round-robin; loop 0 owns the listener).
+  std::size_t event_loops = 1;
+};
+
 class HttpServer {
  public:
   /// Binds immediately (port 0 = auto); call start() to begin serving.
   HttpServer(std::uint16_t port, Handler handler);
+  HttpServer(std::uint16_t port, Handler handler, ServerOptions options);
 
   /// Stops and joins all threads.
   ~HttpServer();
@@ -35,22 +90,35 @@ class HttpServer {
   void start();
   void stop();
 
-  std::uint16_t port() const noexcept { return listener_.port(); }
+  std::uint16_t port() const noexcept;
   std::string base_url() const {
     return "http://127.0.0.1:" + std::to_string(port());
   }
 
+  const ServerOptions& options() const noexcept { return options_; }
+  const ServerStats& stats() const noexcept { return stats_; }
+
  private:
   void accept_loop();
-  void serve_connection(TcpStream stream);
+  void serve_connection(TcpStream stream, std::uint64_t worker_id);
   void register_connection(TcpStream& stream);
   void unregister_connection(TcpStream& stream);
+  void reap_finished_workers();
 
-  TcpListener listener_;
+  ServerOptions options_;
   Handler handler_;
+  ServerStats stats_;
+
+  // Reactor mode.
+  std::unique_ptr<EpollReactor> reactor_;
+
+  // Threaded mode.
+  std::unique_ptr<TcpListener> listener_;
   std::thread acceptor_;
   std::mutex workers_mu_;
-  std::vector<std::thread> workers_;
+  std::unordered_map<std::uint64_t, std::thread> workers_;
+  std::vector<std::uint64_t> finished_workers_;  // ready to join
+  std::uint64_t next_worker_id_ = 0;
   // Sockets currently being served; stop() shuts them down so workers
   // blocked in recv() on an idle keep-alive connection wake and exit.
   std::mutex conns_mu_;

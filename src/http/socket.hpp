@@ -9,6 +9,18 @@
 
 namespace wsc::http {
 
+/// Result of one nonblocking read/write attempt.
+struct IoResult {
+  std::size_t bytes = 0;     // transferred this call
+  bool would_block = false;  // EAGAIN/EWOULDBLOCK — retry on readiness
+  bool closed = false;       // orderly shutdown (read) / EPIPE-class (write)
+};
+
+/// Raise the process soft RLIMIT_NOFILE to the hard limit (10k-connection
+/// runs need ~2 fds per loopback connection).  Returns the resulting soft
+/// limit; never throws.
+std::size_t raise_fd_soft_limit() noexcept;
+
 /// Connected stream socket.  Move-only RAII over the fd.
 class TcpStream {
  public:
@@ -29,7 +41,32 @@ class TcpStream {
                            std::chrono::milliseconds timeout =
                                std::chrono::milliseconds(0));
 
+  /// Begin a nonblocking connect (for event-loop clients): returns a
+  /// nonblocking socket with the handshake possibly still in flight
+  /// (`in_progress` true — wait for writability, then check
+  /// pending_error()).  Throws wsc::TransportError on immediate failure.
+  static TcpStream connect_begin(const std::string& host, std::uint16_t port,
+                                 bool& in_progress);
+
   bool valid() const noexcept { return fd_ >= 0; }
+
+  /// O_NONBLOCK on/off; reactor sockets live in nonblocking mode.
+  void set_nonblocking(bool on);
+
+  /// Consume and return SO_ERROR (0 = none) — completes a nonblocking
+  /// connect after the socket turns writable.
+  int pending_error() noexcept;
+
+  /// One nonblocking recv(): never blocks, never throws on EAGAIN/orderly
+  /// close (reported via IoResult); throws wsc::TransportError on hard
+  /// errors (ECONNRESET...).
+  IoResult try_read(char* buf, std::size_t buf_len);
+
+  /// One nonblocking send() of as much of `data` as the kernel accepts.
+  /// Connection-gone errors (EPIPE/ECONNRESET) report closed rather than
+  /// throwing — on an event loop a vanished peer is routine, not
+  /// exceptional.
+  IoResult try_write(std::string_view data);
 
   /// Bound the time a single recv()/send() may block (SO_RCVTIMEO /
   /// SO_SNDTIMEO).  Zero restores fully blocking behaviour.  Once armed,
@@ -51,6 +88,14 @@ class TcpStream {
   /// (or our own thread) sleeping in recv().  Safe to call from another
   /// thread while the owner is blocked on this socket.
   void shutdown_both() noexcept;
+
+  /// Half-close the write side only (lingering close: the peer still gets
+  /// our final response before we drain and drop the connection).
+  void shutdown_write() noexcept;
+
+  /// Give up ownership of the fd without closing it (mailbox handoff
+  /// between event loops); -1 when already closed.
+  int release() noexcept;
 
   /// Raw descriptor (for connection registries); -1 when closed.
   int fd() const noexcept { return fd_; }
@@ -75,6 +120,19 @@ class TcpListener {
   /// Accept the next connection.  Returns an invalid stream if the listener
   /// was shut down.  Throws TransportError on other failures.
   TcpStream accept();
+
+  enum class AcceptResult { Accepted, WouldBlock, Closed };
+
+  /// Nonblocking accept for event loops; the listener must be in
+  /// nonblocking mode (set_nonblocking(true)).  Per-connection transient
+  /// errors (ECONNABORTED...) are treated as WouldBlock.
+  AcceptResult try_accept(TcpStream& out);
+
+  /// O_NONBLOCK on the listening socket.
+  void set_nonblocking(bool on);
+
+  /// Raw descriptor for epoll registration; -1 after shutdown().
+  int fd() const noexcept { return fd_.load(std::memory_order_acquire); }
 
   /// Unblock pending accept() calls and stop accepting.  Safe to call from
   /// another thread while accept() is blocked (the fd handoff is atomic).

@@ -18,6 +18,8 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::DeadlineHit: return "deadline_hit";
     case EventKind::LeaderFailure: return "leader_failure";
     case EventKind::RefreshAhead: return "refresh_ahead";
+    case EventKind::IdleReap: return "idle_reap";
+    case EventKind::AcceptPause: return "accept_pause";
   }
   return "unknown";
 }

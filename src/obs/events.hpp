@@ -34,8 +34,10 @@ enum class EventKind : std::uint8_t {
   DeadlineHit,    // per-call deadline exceeded
   LeaderFailure,  // coalesced leader failed; one error broadcast to waiters
   RefreshAhead,   // soft-TTL hit triggered an async background refresh
+  IdleReap,       // reactor closed idle keep-alive connections
+  AcceptPause,    // reactor paused accepting (backpressure)
 };
-inline constexpr std::size_t kEventKindCount = 9;
+inline constexpr std::size_t kEventKindCount = 11;
 std::string_view event_kind_name(EventKind kind);
 
 struct Event {

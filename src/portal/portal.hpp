@@ -49,11 +49,18 @@ class PortalSite {
   /// HTTP handler.  Routes:
   ///   GET /portal?q=...  -> text/html results page
   ///   GET /stats         -> application/json StatsSnapshot counters
+  ///                         (+ a "server" section after attach_server())
   ///   GET /metrics       -> Prometheus text exposition (version 0.0.4)
   ///   GET /profiles      -> application/json per-representation cost rows
   ///                         + merged hot keys + cache footprint
   ///   GET /events        -> application/json recent structured events
   http::Handler handler();
+
+  /// Bridge the serving HttpServer's connection-layer telemetry into
+  /// /metrics (wsc_server_* families) and /stats ("server" object).  Call
+  /// once, after constructing the server with this site's handler(); the
+  /// server must outlive the site.
+  void attach_server(const http::HttpServer& server);
 
   cache::ResponseCache& response_cache() noexcept { return *cache_; }
   services::google::GoogleClient& google() noexcept { return *google_; }
@@ -67,6 +74,7 @@ class PortalSite {
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::shared_ptr<obs::CostProfiles> profiles_;
   obs::Summary* request_latency_ = nullptr;  // owned by *metrics_
+  const http::ServerStats* server_stats_ = nullptr;  // attach_server()
   std::unique_ptr<services::google::GoogleClient> google_;
 };
 

@@ -1,0 +1,160 @@
+// Configurable parser size caps surfaced as HTTP rejections (431/413),
+// plus malformed-request handling — against both server modes.  A hostile
+// peer costs one connection, never the process.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include "http/client.hpp"
+#include "http/parser.hpp"
+#include "http/server.hpp"
+#include "http/socket.hpp"
+#include "util/error.hpp"
+
+namespace wsc::http {
+namespace {
+
+Handler ok_handler() {
+  return [](const Request&) {
+    Response r;
+    r.body = "ok";
+    return r;
+  };
+}
+
+class ServerLimitsTest : public ::testing::TestWithParam<ServerOptions::Mode> {
+ protected:
+  ServerOptions small_limits() const {
+    ServerOptions o;
+    o.mode = GetParam();
+    o.limits.max_head_bytes = 2 * 1024;
+    o.limits.max_body_bytes = 4 * 1024;
+    return o;
+  }
+};
+
+/// Read exactly one response off the socket (bounded), tolerating an
+/// early server close after the status line has arrived.
+Response read_one_response(TcpStream& s) {
+  s.set_read_timeout(std::chrono::milliseconds(5'000));
+  ResponseParser parser;
+  char buf[4096];
+  while (!parser.complete()) {
+    std::size_t n = s.read_some(buf, sizeof(buf));
+    if (n == 0) break;
+    parser.feed(std::string_view(buf, n));
+  }
+  EXPECT_TRUE(parser.complete()) << "connection closed before full response";
+  return parser.take();
+}
+
+void expect_still_serving(HttpServer& server) {
+  HttpConnection conn("127.0.0.1", server.port());
+  EXPECT_EQ(conn.round_trip(Request{}).body, "ok");
+}
+
+TEST_P(ServerLimitsTest, OversizedHeaderGets431) {
+  HttpServer server(0, ok_handler(), small_limits());
+  server.start();
+  TcpStream s = TcpStream::connect("127.0.0.1", server.port());
+  try {
+    s.write_all("GET / HTTP/1.1\r\nHost: x\r\nX-Big: " +
+                std::string(8 * 1024, 'h') + "\r\n\r\n");
+  } catch (const TransportError&) {
+    // The server may RST before we finish writing; the response (if any)
+    // is checked below.
+  }
+  Response r = read_one_response(s);
+  EXPECT_EQ(r.status, 431);
+  EXPECT_EQ(r.headers.get("Connection"), "close");
+  expect_still_serving(server);
+  EXPECT_GE(server.stats().limit_rejected.load(), 1u);
+  server.stop();
+}
+
+TEST_P(ServerLimitsTest, OversizedDeclaredBodyGets413BeforeUpload) {
+  HttpServer server(0, ok_handler(), small_limits());
+  server.start();
+  TcpStream s = TcpStream::connect("127.0.0.1", server.port());
+  // Only the head is sent: the server must reject on the DECLARED length,
+  // without waiting for (or buffering) a single body byte.
+  s.write_all("POST / HTTP/1.1\r\nHost: x\r\nContent-Length: 1000000\r\n\r\n");
+  Response r = read_one_response(s);
+  EXPECT_EQ(r.status, 413);
+  EXPECT_EQ(r.headers.get("Connection"), "close");
+  expect_still_serving(server);
+  server.stop();
+}
+
+TEST_P(ServerLimitsTest, BodyAtTheCapStillAccepted) {
+  ServerOptions o = small_limits();
+  HttpServer server(0, ok_handler(), o);
+  server.start();
+  TcpStream s = TcpStream::connect("127.0.0.1", server.port());
+  const std::string body(o.limits.max_body_bytes, 'b');
+  s.write_all("POST / HTTP/1.1\r\nHost: x\r\nContent-Length: " +
+              std::to_string(body.size()) + "\r\n\r\n" + body);
+  Response r = read_one_response(s);
+  EXPECT_EQ(r.status, 200);
+  server.stop();
+}
+
+TEST_P(ServerLimitsTest, MalformedStartLineGets400) {
+  HttpServer server(0, ok_handler(), small_limits());
+  server.start();
+  TcpStream s = TcpStream::connect("127.0.0.1", server.port());
+  s.write_all("NOT-HTTP-AT-ALL\r\n\r\n");
+  Response r = read_one_response(s);
+  EXPECT_EQ(r.status, 400);
+  expect_still_serving(server);
+  server.stop();
+}
+
+TEST_P(ServerLimitsTest, NegativeContentLengthGets400) {
+  HttpServer server(0, ok_handler(), small_limits());
+  server.start();
+  TcpStream s = TcpStream::connect("127.0.0.1", server.port());
+  s.write_all("POST / HTTP/1.1\r\nHost: x\r\nContent-Length: -5\r\n\r\n");
+  Response r = read_one_response(s);
+  EXPECT_EQ(r.status, 400);
+  expect_still_serving(server);
+  server.stop();
+}
+
+TEST_P(ServerLimitsTest, RepeatedAbuseNeverKillsTheServer) {
+  HttpServer server(0, ok_handler(), small_limits());
+  server.start();
+  for (int i = 0; i < 25; ++i) {
+    TcpStream s = TcpStream::connect("127.0.0.1", server.port());
+    try {
+      switch (i % 3) {
+        case 0:
+          s.write_all("GET / HTTP/1.1\r\nJunk: " + std::string(4096, 'x'));
+          break;
+        case 1:
+          s.write_all("POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n");
+          break;
+        case 2:
+          s.write_all("\x01\x02\x03garbage\r\n\r\n");
+          break;
+      }
+    } catch (const TransportError&) {
+    }
+    s.close();
+  }
+  expect_still_serving(server);
+  server.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, ServerLimitsTest,
+    ::testing::Values(ServerOptions::Mode::Threaded,
+                      ServerOptions::Mode::Reactor),
+    [](const ::testing::TestParamInfo<ServerOptions::Mode>& info) {
+      return info.param == ServerOptions::Mode::Reactor ? "Reactor"
+                                                        : "Threaded";
+    });
+
+}  // namespace
+}  // namespace wsc::http

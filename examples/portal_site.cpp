@@ -82,7 +82,8 @@ int main(int argc, char** argv) {
                   : "threaded");
   std::printf("portal site       : %s/portal?q=anything\n",
               portal_server.base_url().c_str());
-  std::printf("admin endpoints   : %s/stats  %s/metrics\n\n",
+  std::printf("admin endpoints   : %s/stats  %s/metrics  %s/adaptive\n\n",
+              portal_server.base_url().c_str(),
               portal_server.base_url().c_str(),
               portal_server.base_url().c_str());
 

@@ -1,5 +1,6 @@
 #include "core/client.hpp"
 
+#include "core/adaptive_policy.hpp"
 #include "obs/events.hpp"
 #include "soap/deserializer.hpp"
 #include "soap/serializer.hpp"
@@ -99,6 +100,13 @@ CachingServiceClient::CachingServiceClient(
   if (!transport_) throw Error("CachingServiceClient: null transport");
   if (!description_) throw Error("CachingServiceClient: null description");
   if (!cache_) throw Error("CachingServiceClient: null cache");
+  if (options_.adaptive) {
+    // The loop needs a feed: share the policy's profile registry unless
+    // the caller wired an explicit one, and give the policy the cache's
+    // live byte footprint as its memory-pressure signal.
+    if (!options_.profiles) options_.profiles = options_.adaptive->profiles();
+    options_.adaptive->bind_cache(cache_);
+  }
 }
 
 CachingServiceClient::~CachingServiceClient() {
@@ -276,9 +284,12 @@ reflect::Object CachingServiceClient::invoke(
   // Miss path from here on: materialize the owned key once.
   CacheKey key = scratch.to_key();
 
-  // Resolve the representation from the *static* (WSDL) result type, so the
-  // miss path knows before parsing whether to tee the events.
-  const Representation rep = resolve_representation(policy, op, operation);
+  // Resolve the representation — static WSDL traits, steered by the
+  // adaptive policy when wired — so the miss path knows before parsing
+  // whether to tee the events.
+  const ResolvedRepresentation resolved =
+      resolve_representation(policy, op, operation);
+  const Representation rep = resolved.representation;
   trace.set_representation(representation_name(rep));
 
   // Single-flight: join (or open) this key's in-flight call.  First joiner
@@ -422,6 +433,12 @@ reflect::Object CachingServiceClient::invoke(
       profiles->record_miss(description_->name(), operation,
                             representation_name(rep), result.deserialize_ns,
                             obs::now_ns() - store_t0, entry_bytes);
+    // Adaptive exploration: a sampled store also shadow-probes one
+    // alternative representation from the same captured response.  After
+    // the store and the flight completion, so probing never delays the
+    // answer or any parked follower.
+    if (resolved.probe != Representation::Auto) [[unlikely]]
+      run_probe(op, operation, resolved.probe, result, key);
   } else {
     util::log(util::LogLevel::Debug, "server directives suppressed caching of ",
               operation);
@@ -442,17 +459,26 @@ reflect::Object CachingServiceClient::invoke(
   return result.object;
 }
 
-Representation CachingServiceClient::resolve_representation(
+CachingServiceClient::ResolvedRepresentation
+CachingServiceClient::resolve_representation(
     const OperationPolicy& policy, const wsdl::OperationInfo& op,
     const std::string& operation) const {
   Representation rep = policy.representation;
   if (rep == Representation::Auto) {
-    rep = op.result_type
-              ? auto_select(*op.result_type, policy.read_only,
-                            policy.prefer_clone)
-              : Representation::Reference;  // void result: store the null
-  } else if (op.result_type &&
-             !applicable(rep, *op.result_type, policy.read_only)) {
+    if (!op.result_type)
+      return {Representation::Reference, Representation::Auto};  // void: null
+    rep = auto_select(*op.result_type, policy.read_only, policy.prefer_clone);
+    if (options_.adaptive) {
+      // The adaptive policy only ever steers within Auto: an explicit
+      // administrator choice below is binding, exactly as in the paper.
+      AdaptivePolicy::Choice choice = options_.adaptive->choose(
+          description_->name(), operation, rep,
+          applicable_representations(*op.result_type, policy.read_only));
+      return {choice.representation, choice.probe};
+    }
+    return {rep, Representation::Auto};
+  }
+  if (op.result_type && !applicable(rep, *op.result_type, policy.read_only)) {
     // Table 3's Limitation column: the administrator configured a
     // representation this operation's type cannot support.
     throw SerializationError(
@@ -461,7 +487,57 @@ Representation CachingServiceClient::resolve_representation(
         "' is not applicable to result type '" + op.result_type->name +
         "' of operation '" + operation + "'");
   }
-  return rep;
+  return {rep, Representation::Auto};
+}
+
+void CachingServiceClient::run_probe(const wsdl::OperationInfo& op,
+                                     const std::string& operation,
+                                     Representation probe,
+                                     const CallResult& result,
+                                     const CacheKey& key) {
+  obs::CostProfiles* const profiles = options_.profiles.get();
+  if (!profiles) return;
+  try {
+    // The serving store may have CONSUMED the teed event sequences
+    // (ResponseCapture moves from them), and a SAX probe under a
+    // non-SAX serving representation never had them — so SAX probes
+    // re-record from the kept response text.  The re-parse is untimed:
+    // the serving path's store cost does not include its tee either
+    // (recording rides the Parse stage there), so probe and serving
+    // samples stay comparable.
+    xml::EventSequence events;
+    xml::CompactEventSequence compact_events;
+    if (probe == Representation::SaxEvents) {
+      xml::EventRecorder recorder;
+      xml::SaxParser{}.parse(result.response_xml, recorder);
+      events = recorder.take();
+    } else if (probe == Representation::SaxEventsCompact) {
+      xml::CompactEventRecorder recorder;
+      xml::SaxParser{}.parse(result.response_xml, recorder);
+      compact_events = recorder.take();
+    }
+    ResponseCapture capture;
+    capture.response_xml = &result.response_xml;
+    capture.events = &events;
+    capture.compact_events = &compact_events;
+    capture.object = result.object;
+    capture.op = share_op(op);
+    // What a store of this representation would cost...
+    const std::uint64_t store_t0 = obs::now_ns();
+    std::shared_ptr<const CachedValue> value = make_cached_value(probe, capture);
+    const std::uint64_t store_ns = obs::now_ns() - store_t0;
+    // ...and what a hit from it would cost (retrieve; keygen + lookup
+    // are representation-independent and cancel in every comparison).
+    const std::uint64_t hit_t0 = obs::now_ns();
+    (void)value->retrieve();
+    const std::uint64_t hit_ns = obs::now_ns() - hit_t0;
+    profiles->record_probe(description_->name(), operation,
+                           representation_name(probe), hit_ns, store_ns,
+                           key.memory_size() + value->memory_size());
+  } catch (...) {
+    // A probe must never fail the call it rides on; a failed probe is
+    // simply a missing sample (the candidate scores as "no data").
+  }
 }
 
 bool CachingServiceClient::schedule_refresh(const std::string& operation,
@@ -502,7 +578,9 @@ std::shared_ptr<const CachedValue> CachingServiceClient::perform_refresh(
   // the slow-call log) but deliberately touch NO hit/miss counters: the
   // foreground caller already accounted for this request.
   obs::CallTrace trace(description_->name(), operation);
-  const Representation rep = resolve_representation(policy, op, operation);
+  const ResolvedRepresentation resolved =
+      resolve_representation(policy, op, operation);
+  const Representation rep = resolved.representation;
   trace.set_representation(representation_name(rep));
   std::optional<std::chrono::seconds> since;
   if (policy.revalidate)
@@ -542,6 +620,8 @@ std::shared_ptr<const CachedValue> CachingServiceClient::perform_refresh(
     profiles->record_miss(description_->name(), operation,
                           representation_name(rep), result.deserialize_ns,
                           obs::now_ns() - store_t0, entry_bytes);
+  if (resolved.probe != Representation::Auto) [[unlikely]]
+    run_probe(op, operation, resolved.probe, result, key);
   return value;
 }
 

@@ -40,6 +40,8 @@ class RetryingTransport;
 
 namespace wsc::cache {
 
+class AdaptivePolicy;
+
 /// Fold RetryingTransport events (retries, breaker opens/probes, deadline
 /// hits) into the cache's CacheStats counters so one snapshot tells the
 /// whole availability story.  The listener closures co-own the cache, so
@@ -60,6 +62,13 @@ class CachingServiceClient {
     /// thread-local tick; misses always record (the wire dwarfs it).
     std::shared_ptr<obs::CostProfiles> profiles;
     std::uint32_t profile_sample_every = 64;
+    /// Adaptive representation selection (DESIGN.md §13, null = off).
+    /// Consulted only for operations whose policy representation is Auto:
+    /// the trait-based auto_select choice seeds the policy, then live
+    /// cost-model feedback (shadow probes on sampled stores) steers it.
+    /// Implies profiles: when unset, `profiles` is taken from the policy
+    /// so the feedback loop always has a feed.
+    std::shared_ptr<AdaptivePolicy> adaptive;
     /// Miss-path calls slower than this emit a SlowCall event to
     /// obs::event_log(); 0 disables.  Hit-path latency is never checked
     /// here (a hit cannot be wire-slow, and the check would cost two
@@ -148,12 +157,30 @@ class CachingServiceClient {
       obs::CallTrace& trace, const std::string& operation, const CacheKey& key,
       const OperationPolicy& policy);
 
-  /// Static (WSDL) representation resolution, shared by the foreground
-  /// miss path and background refreshes.  Throws SerializationError when
-  /// the administrator configured an inapplicable representation.
-  Representation resolve_representation(const OperationPolicy& policy,
-                                        const wsdl::OperationInfo& op,
-                                        const std::string& operation) const;
+  /// Representation resolution, shared by the foreground miss path and
+  /// background refreshes.  Starts from the static (WSDL trait) choice;
+  /// when the adaptive policy is wired and the operation's configured
+  /// representation is Auto, the policy's current choice wins and may
+  /// additionally request a shadow probe of an alternative.  Throws
+  /// SerializationError when the administrator configured an
+  /// inapplicable representation.
+  struct ResolvedRepresentation {
+    Representation representation = Representation::Auto;
+    Representation probe = Representation::Auto;  // Auto = no probe
+  };
+  ResolvedRepresentation resolve_representation(
+      const OperationPolicy& policy, const wsdl::OperationInfo& op,
+      const std::string& operation) const;
+
+  /// Shadow probe (adaptive exploration): build `probe`'s CachedValue
+  /// from the already-captured response, time its capture and one
+  /// retrieve, measure its bytes, and feed CostProfiles::record_probe.
+  /// Never serves, never stores, never throws — a probe failure only
+  /// means no sample.  Rides the miss path, where the wire round trip
+  /// dwarfs the extra capture.
+  void run_probe(const wsdl::OperationInfo& op, const std::string& operation,
+                 Representation probe, const CallResult& result,
+                 const CacheKey& key);
 
   /// Arrange ONE asynchronous refresh of `key` (SWR and refresh-ahead).
   /// Returns true when a refresh is now running or already was in flight;

@@ -1,5 +1,6 @@
 #include "core/metrics_bridge.hpp"
 
+#include "core/adaptive_policy.hpp"
 #include "core/response_cache.hpp"
 
 namespace wsc::cache {
@@ -76,6 +77,45 @@ void register_cache_metrics(obs::MetricsRegistry& registry,
             {"wsc_cache_entries", labels, static_cast<double>(s.entries)});
         out.push_back(
             {"wsc_cache_bytes", labels, static_cast<double>(s.bytes)});
+      });
+}
+
+void register_adaptive_metrics(obs::MetricsRegistry& registry,
+                               const AdaptivePolicy& policy,
+                               obs::Labels labels) {
+  using obs::MetricsRegistry;
+  registry.family("wsc_adaptive_decisions_total",
+                  "Adaptive decision passes (score refresh + switch check)",
+                  MetricsRegistry::Kind::Counter);
+  registry.family("wsc_adaptive_switches_total",
+                  "Representation switches applied by the adaptive policy",
+                  MetricsRegistry::Kind::Counter);
+  registry.family("wsc_adaptive_explore_stores_total",
+                  "Stores that shadow-probed an alternative representation",
+                  MetricsRegistry::Kind::Counter);
+  registry.family("wsc_adaptive_pressure_transitions_total",
+                  "Memory-pressure watermark crossings (enter + exit)",
+                  MetricsRegistry::Kind::Counter);
+  registry.family("wsc_adaptive_operations",
+                  "Operations under adaptive management",
+                  MetricsRegistry::Kind::Gauge);
+  registry.family("wsc_adaptive_memory_pressure",
+                  "1 while cache bytes hold the objective at bytes-minimizing",
+                  MetricsRegistry::Kind::Gauge);
+  registry.collector(
+      [&policy, labels = std::move(labels)](std::vector<obs::Sample>& out) {
+        out.push_back({"wsc_adaptive_decisions_total", labels,
+                       static_cast<double>(policy.decisions())});
+        out.push_back({"wsc_adaptive_switches_total", labels,
+                       static_cast<double>(policy.switches())});
+        out.push_back({"wsc_adaptive_explore_stores_total", labels,
+                       static_cast<double>(policy.explore_stores())});
+        out.push_back({"wsc_adaptive_pressure_transitions_total", labels,
+                       static_cast<double>(policy.pressure_transitions())});
+        out.push_back({"wsc_adaptive_operations", labels,
+                       static_cast<double>(policy.operation_count())});
+        out.push_back({"wsc_adaptive_memory_pressure", labels,
+                       policy.memory_pressure() ? 1.0 : 0.0});
       });
 }
 

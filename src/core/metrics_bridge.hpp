@@ -8,6 +8,7 @@
 
 namespace wsc::cache {
 
+class AdaptivePolicy;
 class ResponseCache;
 
 /// Register wsc_cache_* families backed by `cache`.  `labels` (e.g.
@@ -16,5 +17,12 @@ class ResponseCache;
 void register_cache_metrics(obs::MetricsRegistry& registry,
                             const ResponseCache& cache,
                             obs::Labels labels = {});
+
+/// Register wsc_adaptive_* families backed by `policy` (decision /
+/// switch / probe counters and the memory-pressure gauge).  The policy
+/// must outlive the registry's exports.
+void register_adaptive_metrics(obs::MetricsRegistry& registry,
+                               const AdaptivePolicy& policy,
+                               obs::Labels labels = {});
 
 }  // namespace wsc::cache

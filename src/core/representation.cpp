@@ -20,6 +20,18 @@ std::string_view representation_name(Representation r) {
   return "?";
 }
 
+std::optional<Representation> representation_from_name(std::string_view name) {
+  static constexpr Representation kAll[] = {
+      Representation::XmlMessage,     Representation::SaxEvents,
+      Representation::SaxEventsCompact, Representation::Serialized,
+      Representation::ReflectionCopy, Representation::CloneCopy,
+      Representation::Reference,      Representation::Auto,
+  };
+  for (Representation r : kAll)
+    if (representation_name(r) == name) return r;
+  return std::nullopt;
+}
+
 std::string_view key_method_name(KeyMethod m) {
   switch (m) {
     case KeyMethod::XmlMessage: return "XML message";
@@ -58,6 +70,17 @@ Representation auto_select(const reflect::TypeInfo& type, bool read_only,
     return Representation::ReflectionCopy;
   if (type.is_deeply_serializable()) return Representation::Serialized;
   return Representation::SaxEventsCompact;
+}
+
+std::vector<Representation> applicable_representations(
+    const reflect::TypeInfo& type, bool read_only) {
+  std::vector<Representation> out;
+  out.reserve(kConcreteRepresentationCount);
+  for (std::size_t i = 0; i < kConcreteRepresentationCount; ++i) {
+    const Representation r = static_cast<Representation>(i);
+    if (applicable(r, type, read_only)) out.push_back(r);
+  }
+  return out;
 }
 
 }  // namespace wsc::cache

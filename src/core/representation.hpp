@@ -2,7 +2,9 @@
 // of Table 2, plus applicability rules and the section-6 auto-selector.
 #pragma once
 
+#include <optional>
 #include <string_view>
+#include <vector>
 
 #include "reflect/type_info.hpp"
 
@@ -30,6 +32,16 @@ enum class KeyMethod : std::uint8_t {
 std::string_view representation_name(Representation r);
 std::string_view key_method_name(KeyMethod m);
 
+/// Inverse of representation_name(): parse a representation from its
+/// display name (exact match, every enum value round-trips).  nullopt for
+/// anything else, so portal/bench/config surfaces can reject typos instead
+/// of silently defaulting.
+std::optional<Representation> representation_from_name(std::string_view name);
+
+/// The number of concrete (storable) representations — every enum value
+/// except the Auto sentinel, which resolves to one of these.
+inline constexpr std::size_t kConcreteRepresentationCount = 7;
+
 /// Can `r` store a response of static type `type`?  `read_only` is the
 /// client administrator's §4.2.4 declaration that the application will not
 /// mutate returned objects.  Mirrors Table 3's "Limitation" column.
@@ -51,5 +63,12 @@ bool applicable(Representation r, const reflect::TypeInfo& type,
 /// legacy SaxEvents stays selectable explicitly for comparison benches.
 Representation auto_select(const reflect::TypeInfo& type, bool read_only,
                            bool prefer_clone = false);
+
+/// Every concrete representation applicable to `type` (Table 3's
+/// Limitation column), in enum order — the candidate set the adaptive
+/// policy samples from.  Never contains Auto; never empty (the SAX forms
+/// have no limitation).
+std::vector<Representation> applicable_representations(
+    const reflect::TypeInfo& type, bool read_only);
 
 }  // namespace wsc::cache

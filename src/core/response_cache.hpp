@@ -210,6 +210,10 @@ class ResponseCache {
 
   std::size_t entry_count() const { return footprint().entries; }
   std::size_t bytes_used() const { return footprint().bytes; }
+  /// Configured budgets (the adaptive policy's memory-pressure signal
+  /// compares footprint().bytes against max_bytes()).
+  std::size_t max_bytes() const noexcept { return config_.max_bytes; }
+  std::size_t max_entries() const noexcept { return config_.max_entries; }
   StatsSnapshot stats() const;
   CacheStats& counters() noexcept { return stats_; }
 

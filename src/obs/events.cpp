@@ -20,6 +20,8 @@ std::string_view event_kind_name(EventKind kind) {
     case EventKind::RefreshAhead: return "refresh_ahead";
     case EventKind::IdleReap: return "idle_reap";
     case EventKind::AcceptPause: return "accept_pause";
+    case EventKind::AdaptiveSwitch: return "adaptive_switch";
+    case EventKind::MemoryPressure: return "memory_pressure";
   }
   return "unknown";
 }

@@ -36,8 +36,10 @@ enum class EventKind : std::uint8_t {
   RefreshAhead,   // soft-TTL hit triggered an async background refresh
   IdleReap,       // reactor closed idle keep-alive connections
   AcceptPause,    // reactor paused accepting (backpressure)
+  AdaptiveSwitch,  // adaptive policy switched an operation's representation
+  MemoryPressure,  // cache bytes crossed a budget watermark (enter/exit)
 };
-inline constexpr std::size_t kEventKindCount = 11;
+inline constexpr std::size_t kEventKindCount = 13;
 std::string_view event_kind_name(EventKind kind);
 
 struct Event {

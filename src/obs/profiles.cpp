@@ -34,6 +34,7 @@ CostProfiles::LatencyStat latency_stat(const WindowedSummary& summary,
   CostProfiles::LatencyStat stat;
   util::Histogram life = summary.snapshot();
   stat.count = life.count();
+  stat.sum_ns = life.sum();
   stat.mean_ns = life.mean();
   stat.p50_ns = static_cast<double>(life.percentile(0.5));
   stat.p99_ns = static_cast<double>(life.percentile(0.99));
@@ -107,6 +108,21 @@ void CostProfiles::record_stale(std::string_view service,
                                 std::string_view representation) {
   std::lock_guard lock(mu_);
   cell_locked(service, operation, representation).stale_serves.inc();
+}
+
+void CostProfiles::record_probe(std::string_view service,
+                                std::string_view operation,
+                                std::string_view representation,
+                                std::uint64_t hit_ns, std::uint64_t store_ns,
+                                std::uint64_t bytes) {
+  std::lock_guard lock(mu_);
+  Cell& cell = cell_locked(service, operation, representation);
+  cell.hit_ns.record(hit_ns);
+  cell.store_ns.record(store_ns);
+  if (bytes > 0) {
+    cell.stored_entries += 1;
+    cell.bytes_sum += bytes;
+  }
 }
 
 std::vector<CostProfiles::Row> CostProfiles::snapshot() const {

@@ -49,8 +49,20 @@ class CostProfiles {
   void record_stale(std::string_view service, std::string_view operation,
                     std::string_view representation);
 
+  /// Shadow probe of an alternative representation (adaptive selection):
+  /// on a sampled store, the middleware captures the response in an
+  /// alternative form WITHOUT serving it and measures what a store
+  /// (`store_ns` = capture), a hit (`hit_ns` = one retrieve()) and an
+  /// entry (`bytes`) would have cost.  Latency/bytes feeds only — the
+  /// hit/miss counters (and therefore every ratio) are untouched, so
+  /// probes never distort traffic attribution.
+  void record_probe(std::string_view service, std::string_view operation,
+                    std::string_view representation, std::uint64_t hit_ns,
+                    std::uint64_t store_ns, std::uint64_t bytes);
+
   struct LatencyStat {
     std::uint64_t count = 0;
+    std::uint64_t sum_ns = 0;  // exact lifetime sum: delta feeds stay exact
     double mean_ns = 0;
     double p50_ns = 0;
     double p99_ns = 0;

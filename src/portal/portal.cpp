@@ -1,5 +1,6 @@
 #include "portal/portal.hpp"
 
+#include "core/adaptive_policy.hpp"
 #include "core/metrics_bridge.hpp"
 #include "obs/build_info.hpp"
 #include "obs/events.hpp"
@@ -18,10 +19,14 @@ PortalSite::PortalSite(PortalConfig config)
                                    : std::make_shared<cache::ResponseCache>()),
       metrics_(std::move(config.metrics)),
       profiles_(config.profiles ? std::move(config.profiles)
-                                : std::make_shared<obs::CostProfiles>()) {
+                                : std::make_shared<obs::CostProfiles>()),
+      adaptive_(config.adaptive
+                    ? std::move(config.adaptive)
+                    : std::make_shared<cache::AdaptivePolicy>(profiles_)) {
   if (!metrics_) {
     metrics_ = std::make_shared<obs::MetricsRegistry>();
     cache::register_cache_metrics(*metrics_, *cache_);
+    cache::register_adaptive_metrics(*metrics_, *adaptive_);
     obs::register_tracer_metrics(*metrics_, obs::tracer());
     obs::register_process_metrics(*metrics_);
     obs::register_event_metrics(*metrics_, obs::event_log());
@@ -34,6 +39,11 @@ PortalSite::PortalSite(PortalConfig config)
     config.options.profiles = profiles_;
     config.options.profile_sample_every = 1;
   }
+  // Close the loop by default: the Auto representation policy starts at
+  // the trait choice and converges on what this deployment's live cost
+  // rows say is optimal.  An explicitly configured options.adaptive (even
+  // null semantics differ: PortalConfig::adaptive set) still wins.
+  if (!config.options.adaptive) config.options.adaptive = adaptive_;
   if (config.options.slow_call_threshold_ns == 0)
     config.options.slow_call_threshold_ns = 50'000'000;  // 50 ms
   // A popular portal query is exactly the thundering-herd shape the
@@ -185,6 +195,11 @@ http::Handler PortalSite::handler() {
     if (target.path == "/profiles") {
       response.headers.set("Content-Type", "application/json");
       response.body = profiles_json();
+      return response;
+    }
+    if (target.path == "/adaptive") {
+      response.headers.set("Content-Type", "application/json");
+      response.body = adaptive_->json();
       return response;
     }
     if (target.path == "/events") {

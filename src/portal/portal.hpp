@@ -36,6 +36,10 @@ struct PortalConfig {
   /// and injected into the middleware options (sampling every call — the
   /// portal is the observability showcase, not the overhead benchmark).
   std::shared_ptr<obs::CostProfiles> profiles;
+  /// Adaptive representation policy behind /adaptive; created internally
+  /// (sharing `profiles`) when null and injected into the middleware
+  /// options, closing the cost-model loop by default.
+  std::shared_ptr<cache::AdaptivePolicy> adaptive;
 };
 
 class PortalSite {
@@ -53,6 +57,9 @@ class PortalSite {
   ///   GET /metrics       -> Prometheus text exposition (version 0.0.4)
   ///   GET /profiles      -> application/json per-representation cost rows
   ///                         + merged hot keys + cache footprint
+  ///   GET /adaptive      -> application/json adaptive-policy state (per
+  ///                         operation: current representation, candidate
+  ///                         scores, switches, memory pressure)
   ///   GET /events        -> application/json recent structured events
   http::Handler handler();
 
@@ -66,6 +73,7 @@ class PortalSite {
   services::google::GoogleClient& google() noexcept { return *google_; }
   obs::MetricsRegistry& metrics() noexcept { return *metrics_; }
   obs::CostProfiles& profiles() noexcept { return *profiles_; }
+  cache::AdaptivePolicy& adaptive() noexcept { return *adaptive_; }
 
  private:
   std::string profiles_json() const;
@@ -73,6 +81,7 @@ class PortalSite {
   std::shared_ptr<cache::ResponseCache> cache_;
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::shared_ptr<obs::CostProfiles> profiles_;
+  std::shared_ptr<cache::AdaptivePolicy> adaptive_;
   obs::Summary* request_latency_ = nullptr;  // owned by *metrics_
   const http::ServerStats* server_stats_ = nullptr;  // attach_server()
   std::unique_ptr<services::google::GoogleClient> google_;

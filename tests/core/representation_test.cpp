@@ -126,6 +126,47 @@ TEST_F(RepresentationFixture, AutoIsAlwaysApplicable) {
   EXPECT_TRUE(applicable(Representation::Auto, type_of<Opaque>(), false));
 }
 
+TEST(RepresentationNamesTest, FromNameRoundTripsEveryValue) {
+  // Every enum value (the 7 concrete representations AND Auto) must
+  // round-trip through its display name — the adaptive policy keys its
+  // models off names parsed back from cost-profile rows.
+  for (std::size_t i = 0; i <= kConcreteRepresentationCount; ++i) {
+    const Representation r = static_cast<Representation>(i);
+    const std::optional<Representation> parsed =
+        representation_from_name(representation_name(r));
+    ASSERT_TRUE(parsed.has_value()) << representation_name(r);
+    EXPECT_EQ(*parsed, r) << representation_name(r);
+  }
+  EXPECT_FALSE(representation_from_name("").has_value());
+  EXPECT_FALSE(representation_from_name("XML").has_value());
+  EXPECT_FALSE(representation_from_name("xml message").has_value());
+  EXPECT_FALSE(representation_from_name("Pass by reference ").has_value());
+}
+
+TEST_F(RepresentationFixture, ApplicableRepresentationsMatchesMatrix) {
+  using services::google::GoogleSearchResult;
+  // Mutable bean: everything except Reference (and never Auto).
+  const std::vector<Representation> bean =
+      applicable_representations(type_of<GoogleSearchResult>(), false);
+  EXPECT_EQ(bean.size(), kConcreteRepresentationCount - 1);
+  for (Representation r : bean) {
+    EXPECT_NE(r, Representation::Reference);
+    EXPECT_NE(r, Representation::Auto);
+    EXPECT_TRUE(applicable(r, type_of<GoogleSearchResult>(), false));
+  }
+  // The read-only declaration unlocks Reference: all 7 concrete forms.
+  EXPECT_EQ(
+      applicable_representations(type_of<GoogleSearchResult>(), true).size(),
+      kConcreteRepresentationCount);
+  // Opaque (no serialization, no reflection, no clone, mutable): only the
+  // three universal XML/SAX forms remain.
+  const std::vector<Representation> opaque =
+      applicable_representations(type_of<Opaque>(), false);
+  EXPECT_EQ(opaque, (std::vector<Representation>{
+                        Representation::XmlMessage, Representation::SaxEvents,
+                        Representation::SaxEventsCompact}));
+}
+
 TEST(RepresentationNamesTest, AllNamed) {
   EXPECT_EQ(representation_name(Representation::XmlMessage), "XML message");
   EXPECT_EQ(representation_name(Representation::SaxEvents), "SAX events sequence");

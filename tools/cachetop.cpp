@@ -6,6 +6,8 @@
 //   /metrics   lifetime + rolling-window counters (Prometheus text)
 //   /profiles  per-(service, operation, representation) cost rows,
 //              hot keys, cache footprint (JSON)
+//   /adaptive  adaptive representation policy state (JSON; optional —
+//              older portals without the endpoint just lose the column)
 //   /events    recent structured events (JSON)
 //
 // and redraws a terminal dashboard every --interval seconds.  `--once`
@@ -110,8 +112,37 @@ std::string human_bytes(double bytes) {
   return buf;
 }
 
+/// The adaptive candidate entry for (operation, representation), if the
+/// policy tracks it.
+const util::json::Value* adaptive_candidate(const util::json::Value& adaptive,
+                                            const std::string& operation,
+                                            const std::string& representation) {
+  const util::json::Value* ops = adaptive.find("operations");
+  if (!ops) return nullptr;
+  for (const util::json::Value& op : ops->array) {
+    if (op.string_or("operation") != operation) continue;
+    if (const util::json::Value* cands = op.find("candidates"))
+      for (const util::json::Value& c : cands->array)
+        if (c.string_or("representation") == representation) return &c;
+    return nullptr;
+  }
+  return nullptr;
+}
+
+/// The operation's current serving representation per the policy ("" when
+/// unmanaged).
+std::string adaptive_current(const util::json::Value& adaptive,
+                             const std::string& operation) {
+  if (const util::json::Value* ops = adaptive.find("operations"))
+    for (const util::json::Value& op : ops->array)
+      if (op.string_or("operation") == operation)
+        return op.string_or("representation");
+  return "";
+}
+
 void draw_frame(const Args& args, const std::string& prom,
                 const util::json::Value& profiles,
+                const util::json::Value& adaptive,
                 const util::json::Value& events) {
   const double hits = prom_value(prom, "wsc_cache_hits_total");
   const double misses = prom_value(prom, "wsc_cache_misses_total");
@@ -152,23 +183,44 @@ void draw_frame(const Args& args, const std::string& prom,
   if (const util::json::Value* cache = profiles.find("cache"))
     std::printf("footprint: %.0f entries, %s\n", cache->number_or("entries"),
                 human_bytes(cache->number_or("bytes")).c_str());
+  if (adaptive.find("operations")) {
+    const util::json::Value* pressure = adaptive.find("memory_pressure");
+    std::printf(
+        "adaptive: objective %s  decisions %.0f  switches %.0f  probes %.0f  "
+        "pressure %s\n",
+        adaptive.string_or("objective", "?").c_str(),
+        adaptive.number_or("decisions"), adaptive.number_or("switches"),
+        adaptive.number_or("explore_stores"),
+        pressure && pressure->boolean ? "ON" : "off");
+  }
 
-  std::printf("\n%-28s %-14s %8s %8s %7s %10s %10s %10s\n", "operation",
+  // `*` marks the operation's current serving representation per the
+  // adaptive policy; "score" is that candidate's objective score (blank
+  // until the policy has enough samples).
+  std::printf("\n%-28s %-16s %8s %8s %7s %10s %10s %10s %10s\n", "operation",
               "representation", "hits", "misses", "hit%", "hit p99",
-              "deser p99", "bytes/ent");
+              "deser p99", "bytes/ent", "score");
   if (const util::json::Value* rows = profiles.find("rows")) {
     for (const util::json::Value& row : rows->array) {
-      const std::string op =
-          row.string_or("service") + "." + row.string_or("operation");
+      const std::string operation = row.string_or("operation");
+      const std::string rep = row.string_or("representation");
+      const std::string op = row.string_or("service") + "." + operation;
       const util::json::Value* hit = row.find("hit");
       const util::json::Value* deser = row.find("deserialize");
-      std::printf("%-28s %-14s %8.0f %8.0f %6.1f%% %9.1fus %9.1fus %10.0f\n",
-                  op.c_str(), row.string_or("representation").c_str(),
-                  row.number_or("hits"), row.number_or("misses"),
-                  100.0 * row.number_or("hit_ratio"),
-                  (hit ? hit->number_or("p99_ns") : 0) / 1e3,
-                  (deser ? deser->number_or("p99_ns") : 0) / 1e3,
-                  row.number_or("bytes_per_entry"));
+      const bool serving = adaptive_current(adaptive, operation) == rep;
+      const util::json::Value* cand =
+          adaptive_candidate(adaptive, operation, rep);
+      const double score = cand ? cand->number_or("score", -1) : -1;
+      char score_buf[24] = "";
+      if (score >= 0) std::snprintf(score_buf, sizeof score_buf, "%.3g", score);
+      std::printf(
+          "%-28s %-14s%s %8.0f %8.0f %6.1f%% %9.1fus %9.1fus %10.0f %10s\n",
+          op.c_str(), rep.c_str(), serving ? " *" : "  ",
+          row.number_or("hits"), row.number_or("misses"),
+          100.0 * row.number_or("hit_ratio"),
+          (hit ? hit->number_or("p99_ns") : 0) / 1e3,
+          (deser ? deser->number_or("p99_ns") : 0) / 1e3,
+          row.number_or("bytes_per_entry"), score_buf);
     }
   }
 
@@ -213,11 +265,18 @@ int main(int argc, char** argv) {
 
   for (;;) {
     std::string prom;
-    util::json::Value profiles, events;
+    util::json::Value profiles, adaptive, events;
     try {
       prom = fetch(conn, "/metrics");
       profiles = util::json::parse(fetch(conn, "/profiles"));
       events = util::json::parse(fetch(conn, "/events"));
+      // Optional endpoint: a portal predating the adaptive policy still
+      // renders everything else.
+      try {
+        adaptive = util::json::parse(fetch(conn, "/adaptive"));
+      } catch (const std::exception&) {
+        adaptive = util::json::Value{};
+      }
     } catch (const std::exception& error) {
       std::fprintf(stderr, "cachetop: %s\n", error.what());
       if (args.once) return 1;
@@ -226,7 +285,7 @@ int main(int argc, char** argv) {
       continue;
     }
     if (!args.once) std::printf("\x1b[2J\x1b[H");  // clear + home
-    draw_frame(args, prom, profiles, events);
+    draw_frame(args, prom, profiles, adaptive, events);
     std::fflush(stdout);
     if (args.once) return 0;
     std::this_thread::sleep_for(std::chrono::duration<double>(args.interval_s));
